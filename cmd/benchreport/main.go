@@ -1,0 +1,94 @@
+// Command benchreport regenerates every table and figure of the paper's
+// evaluation end-to-end — the feasibility analysis (Figures 5-12), the
+// application experiments (Figures 3, 14, 16-19), and the cluster-scale
+// simulation (Figures 20-22) — printing EXPERIMENTS.md-style output.
+//
+// Usage:
+//
+//	benchreport            # everything (a few minutes)
+//	benchreport -quick     # smaller traces / shorter runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"vmdeflate/internal/clustersim"
+	"vmdeflate/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+
+	quick := flag.Bool("quick", false, "smaller traces and shorter runs")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	nVMs := 5000
+	if *quick {
+		nVMs = 1500
+	}
+
+	start := time.Now()
+
+	// Figures 5-12 and 3/14/16-19 via the dedicated tools (so their
+	// output formats stay the single source of truth).
+	run("feasibility", "-vms", strconv.Itoa(nVMs), "-seed", strconv.FormatInt(*seed, 10))
+	run("webbench", "-seed", strconv.FormatInt(*seed, 10))
+
+	// Figures 20-22 inline (shared baseline across strategies).
+	fmt.Println("== Figures 20-22: cluster-scale simulation")
+	cfg := trace.DefaultAzureConfig()
+	cfg.NumVMs = nVMs
+	cfg.Seed = *seed
+	tr := trace.GenerateAzure(cfg)
+	ocs := []float64{0, 10, 20, 30, 40, 50, 60, 70}
+	for _, strat := range []string{
+		clustersim.StrategyProportional,
+		clustersim.StrategyPriority,
+		clustersim.StrategyDeterministic,
+		clustersim.StrategyPartitioned,
+		clustersim.StrategyPreemption,
+	} {
+		sr, err := clustersim.Sweep(tr, strat, ocs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- %s\n%8s %12s %12s %12s %12s %12s\n", strat,
+			"oc%", "failure", "tput-loss%", "rev-static%", "rev-prio%", "rev-alloc%")
+		incS := clustersim.RevenueIncrease(sr, "static")
+		incP := clustersim.RevenueIncrease(sr, "priority")
+		incA := clustersim.RevenueIncrease(sr, "allocation")
+		for i, p := range sr.Points {
+			fmt.Printf("%8.0f %12.4f %12.2f %12.1f %12.1f %12.1f\n",
+				p.OvercommitPct, p.FailureProbability, p.ThroughputLossPct,
+				incS[i], incP[i], incA[i])
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("benchreport: done in %s\n", time.Since(start).Round(time.Second))
+}
+
+// run executes a sibling tool via `go run` if available, falling back to
+// a PATH lookup; output is streamed through.
+func run(tool string, args ...string) {
+	cmdArgs := append([]string{"run", "./cmd/" + tool}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// Fall back to an installed binary.
+		cmd = exec.Command(tool, args...)
+		out, err = cmd.CombinedOutput()
+		if err != nil {
+			log.Printf("%s failed: %v\n%s", tool, err, out)
+			return
+		}
+	}
+	fmt.Print(string(out))
+}

@@ -1,0 +1,98 @@
+// Command clusterd is the centralized cluster manager of Section 6: it
+// tracks a fleet of noded instances, ranks them by deflation-aware
+// placement fitness, and forwards VM placement/removal requests.
+//
+// API:
+//
+//	POST   /v1/place       (restapi.VMSpec)  -> restapi.PlaceResponse
+//	DELETE /v1/vms/{name}                    -> 204
+//	GET    /v1/vms/{name}                    -> restapi.VMStatus
+//	GET    /v1/nodes                          -> []string
+//
+// Usage:
+//
+//	clusterd -listen :8700 -nodes node-0=http://127.0.0.1:8701,node-1=http://127.0.0.1:8702
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"vmdeflate/internal/restapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clusterd: ")
+
+	listen := flag.String("listen", ":8700", "listen address")
+	nodes := flag.String("nodes", "", "comma-separated name=url node list")
+	flag.Parse()
+
+	cm := restapi.NewCentralManager()
+	for _, ent := range strings.Split(*nodes, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(ent, "=")
+		if !ok {
+			log.Fatalf("bad -nodes entry %q (want name=url)", ent)
+		}
+		cm.AddNode(name, url)
+	}
+	if len(cm.Nodes()) == 0 {
+		log.Fatal("no nodes configured (use -nodes)")
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/place", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var spec restapi.VMSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := cm.PlaceVM(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/v1/vms/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/v1/vms/")
+		switch r.Method {
+		case http.MethodDelete:
+			if err := cm.RemoveVM(name); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodGet:
+			st, err := cm.LookupVM(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(st)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(cm.Nodes())
+	})
+
+	log.Printf("managing %d nodes, listening on %s", len(cm.Nodes()), *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}

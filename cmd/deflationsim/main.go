@@ -1,0 +1,107 @@
+// Command deflationsim runs the trace-driven cluster simulation of
+// Section 7.4 and prints the series behind Figures 20 (failure
+// probability), 21 (throughput loss) and 22 (revenue increase).
+//
+// Usage:
+//
+//	deflationsim -vms 10000 -days 3
+//	deflationsim -strategies proportional,preemption -oc 0,10,20,30,40,50,60,70
+//	deflationsim -azure azure.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"vmdeflate/internal/clustersim"
+	"vmdeflate/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("deflationsim: ")
+
+	azurePath := flag.String("azure", "", "Azure-format CSV (default: synthetic)")
+	nVMs := flag.Int("vms", 2000, "synthetic trace size")
+	days := flag.Float64("days", 3, "synthetic trace horizon (days)")
+	seed := flag.Int64("seed", 1, "synthetic trace seed")
+	ocList := flag.String("oc", "0,10,20,30,40,50,60,70", "overcommitment percentages")
+	strategies := flag.String("strategies",
+		strings.Join([]string{
+			clustersim.StrategyProportional,
+			clustersim.StrategyPriority,
+			clustersim.StrategyDeterministic,
+			clustersim.StrategyPartitioned,
+			clustersim.StrategyPreemption,
+		}, ","),
+		"comma-separated strategies")
+	flag.Parse()
+
+	tr := loadTrace(*azurePath, *nVMs, *days, *seed)
+	ocs := parseFloats(*ocList)
+
+	fmt.Printf("trace: %d VMs, horizon %.1f days\n\n", len(tr.VMs), tr.Duration()/86400)
+
+	for _, strat := range strings.Split(*strategies, ",") {
+		strat = strings.TrimSpace(strat)
+		sr, err := clustersim.Sweep(tr, strat, ocs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== strategy: %s\n", strat)
+		fmt.Printf("%8s %12s %12s %12s %12s %12s\n",
+			"oc%", "failure", "tput-loss%", "rev-static%", "rev-prio%", "rev-alloc%")
+		incS := clustersim.RevenueIncrease(sr, "static")
+		incP := clustersim.RevenueIncrease(sr, "priority")
+		incA := clustersim.RevenueIncrease(sr, "allocation")
+		for i, p := range sr.Points {
+			fmt.Printf("%8.0f %12.4f %12.2f %12.1f %12.1f %12.1f\n",
+				p.OvercommitPct, p.FailureProbability, p.ThroughputLossPct,
+				at(incS, i), at(incP, i), at(incA, i))
+		}
+		fmt.Println()
+	}
+}
+
+func at(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}
+
+func loadTrace(path string, n int, days float64, seed int64) *trace.AzureTrace {
+	if path == "" {
+		cfg := trace.DefaultAzureConfig()
+		cfg.NumVMs = n
+		cfg.Duration = days * 86400
+		cfg.Seed = seed
+		return trace.GenerateAzure(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadAzureCSV(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("bad number %q", p)
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Command noded is the per-server local deflation controller of Section
+// 6: it owns one (simulated) KVM host, applies the configured
+// server-level deflation policy and mechanism, and serves the node
+// control API consumed by clusterd.
+//
+// Usage:
+//
+//	noded -listen :8701 -name node-0 -cpus 48 -memory-gb 128 \
+//	      -policy proportional -mechanism hybrid
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"vmdeflate/internal/cluster"
+	"vmdeflate/internal/mechanism"
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/resources"
+	"vmdeflate/internal/restapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noded: ")
+
+	listen := flag.String("listen", ":8701", "listen address")
+	name := flag.String("name", "node-0", "server name")
+	cpus := flag.Float64("cpus", 48, "physical CPU cores")
+	memGB := flag.Float64("memory-gb", 128, "physical memory (GB)")
+	diskMBps := flag.Float64("disk-mbps", 1000, "disk bandwidth (MB/s)")
+	netMbps := flag.Float64("net-mbps", 10000, "network bandwidth (Mbit/s)")
+	policyName := flag.String("policy", "proportional", "deflation policy: proportional|priority|deterministic")
+	mechName := flag.String("mechanism", "hybrid", "deflation mechanism: transparent|explicit|hybrid")
+	flag.Parse()
+
+	pol, err := policy.ByName(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mech, err := mechanism.ByName(*mechName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ns, err := restapi.NewNodeServer(*name, resources.New(*cpus, *memGB*1024, *diskMBps, *netMbps), cluster.Config{
+		Policy:    pol,
+		Mechanism: mech,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s (%.0f CPUs, %.0f GB) on %s [policy=%s mechanism=%s]",
+		*name, *cpus, *memGB, *listen, pol.Name(), mech.Name())
+	log.Fatal(http.ListenAndServe(*listen, ns))
+}

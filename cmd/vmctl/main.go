@@ -1,0 +1,179 @@
+// Command vmctl is the operator CLI for a clusterd/noded deployment:
+// place and remove VMs, inspect status, and deflate VMs directly.
+//
+// Usage:
+//
+//	vmctl -server http://127.0.0.1:8700 place -name web-1 -cpus 16 -memory-gb 32 -deflatable -priority 0.5
+//	vmctl -server http://127.0.0.1:8700 get -name web-1
+//	vmctl -server http://127.0.0.1:8700 remove -name web-1
+//	vmctl -node http://127.0.0.1:8701 status
+//	vmctl -node http://127.0.0.1:8701 list
+//	vmctl -node http://127.0.0.1:8701 deflate -name web-1 -cpus 8 -memory-gb 16
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"vmdeflate/internal/resources"
+	"vmdeflate/internal/restapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vmctl: ")
+
+	server := flag.String("server", "", "clusterd base URL")
+	node := flag.String("node", "", "noded base URL (for node-local commands)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: vmctl [-server URL | -node URL] <place|get|remove|status|list|deflate> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	switch cmd {
+	case "place":
+		requireURL(*server, "-server")
+		spec := parseSpec(rest)
+		var resp restapi.PlaceResponse
+		postJSON(*server+"/v1/place", spec, &resp)
+		printJSON(resp)
+	case "get":
+		requireURL(*server, "-server")
+		name := parseName(rest)
+		var st restapi.VMStatus
+		getJSON(*server+"/v1/vms/"+name, &st)
+		printJSON(st)
+	case "remove":
+		requireURL(*server, "-server")
+		name := parseName(rest)
+		req, _ := http.NewRequest(http.MethodDelete, *server+"/v1/vms/"+name, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			log.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		fmt.Println("removed", name)
+	case "status":
+		requireURL(*node, "-node")
+		nc := restapi.NodeClient{BaseURL: *node}
+		st, err := nc.Status()
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(st)
+	case "list":
+		requireURL(*node, "-node")
+		nc := restapi.NodeClient{BaseURL: *node}
+		vms, err := nc.ListVMs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(vms)
+	case "deflate":
+		requireURL(*node, "-node")
+		fs := flag.NewFlagSet("deflate", flag.ExitOnError)
+		name := fs.String("name", "", "VM name")
+		cpus := fs.Float64("cpus", 0, "target cores")
+		memGB := fs.Float64("memory-gb", 0, "target memory (GB)")
+		fs.Parse(rest)
+		if *name == "" {
+			log.Fatal("deflate: -name required")
+		}
+		nc := restapi.NodeClient{BaseURL: *node}
+		st, err := nc.DeflateVM(*name, restapi.DeflateRequest{
+			Target: resources.CPUMem(*cpus, *memGB*1024),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(st)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func parseSpec(args []string) restapi.VMSpec {
+	fs := flag.NewFlagSet("place", flag.ExitOnError)
+	name := fs.String("name", "", "VM name")
+	cpus := fs.Float64("cpus", 1, "vCPUs")
+	memGB := fs.Float64("memory-gb", 1, "memory (GB)")
+	diskMBps := fs.Float64("disk-mbps", 0, "disk bandwidth (MB/s)")
+	netMbps := fs.Float64("net-mbps", 0, "network bandwidth (Mbit/s)")
+	deflatable := fs.Bool("deflatable", false, "low-priority deflatable VM")
+	priority := fs.Float64("priority", 0.5, "deflation priority in (0,1]")
+	fs.Parse(args)
+	if *name == "" {
+		log.Fatal("place: -name required")
+	}
+	return restapi.VMSpec{
+		Name:       *name,
+		Size:       resources.New(*cpus, *memGB*1024, *diskMBps, *netMbps),
+		Deflatable: *deflatable,
+		Priority:   *priority,
+	}
+}
+
+func parseName(args []string) string {
+	fs := flag.NewFlagSet("name", flag.ExitOnError)
+	name := fs.String("name", "", "VM name")
+	fs.Parse(args)
+	if *name == "" {
+		log.Fatal("-name required")
+	}
+	return *name
+}
+
+func requireURL(u, flagName string) {
+	if u == "" || !strings.HasPrefix(u, "http") {
+		log.Fatalf("%s URL required", flagName)
+	}
+}
+
+func postJSON(url string, in, out any) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := json.Marshal(resp.Status)
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

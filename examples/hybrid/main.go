@@ -1,0 +1,58 @@
+// Hybrid: a walk-through of the three deflation mechanisms on a SpecJBB
+// VM (the Figure 13/14 scenario): transparent multiplexing vs explicit
+// hotplug vs the hybrid of both, under memory-only deflation.
+//
+// Run with: go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmdeflate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	for _, mech := range []vmdeflate.Mechanism{
+		vmdeflate.TransparentMechanism,
+		vmdeflate.ExplicitMechanism,
+		vmdeflate.HybridMechanism,
+	} {
+		host, err := vmdeflate.NewHost(vmdeflate.HostConfig{
+			Name:     "host-" + mech.Name(),
+			Capacity: vmdeflate.NewVector(64, 262144, 2000, 20000),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := host.Define(vmdeflate.DomainConfig{
+			Name:       "specjbb",
+			Size:       vmdeflate.NewVector(8, 16384, 200, 2000),
+			Deflatable: true,
+			Priority:   0.5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			log.Fatal(err)
+		}
+		// JVM-style footprint: ~9 GB resident (heap), small cache.
+		d.Guest().SetWorkload(9000, 800)
+
+		// Deflate memory only, by 40%.
+		target := d.MaxSize().With(vmdeflate.Memory, 16384*0.6)
+		got, err := mech.Apply(d, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s effective=%v\n", mech.Name()+":", got)
+		fmt.Printf("%-12s guest: %d vCPUs online, %.0f MB plugged, swap pressure %.2f\n\n",
+			"", d.Guest().OnlineVCPUs(), d.Guest().PluggedMemoryMB(), d.SwapPressure())
+	}
+	fmt.Println("Transparent deflation leaves the guest oblivious (and pays swap),",
+		"\nexplicit hotplug stops at the guest's RSS safety threshold, and hybrid",
+		"\nunplugs what is safe before multiplexing the remainder (Figure 13).")
+}

@@ -1,0 +1,88 @@
+// Quickstart: boot a simulated host, run a deflatable and an on-demand
+// VM on it, reclaim resources with each mechanism, and reinflate.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmdeflate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 48-CPU / 128 GB server, as in the paper's evaluation.
+	host, err := vmdeflate.NewHost(vmdeflate.HostConfig{
+		Name:     "node-0",
+		Capacity: vmdeflate.NewVector(48, 131072, 1000, 10000),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A low-priority deflatable VM...
+	low, err := host.Define(vmdeflate.DomainConfig{
+		Name:       "webapp",
+		Size:       vmdeflate.NewVector(16, 32768, 100, 1000),
+		Deflatable: true,
+		Priority:   0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := low.Start(); err != nil {
+		log.Fatal(err)
+	}
+	// ... with an application footprint inside the guest (6 GB resident,
+	// 8 GB page cache), which bounds explicit memory unplug.
+	low.Guest().SetWorkload(6144, 8192)
+
+	fmt.Println("undeflated:", low.Effective())
+
+	// Transparent deflation: the guest is unaware, allocations are
+	// fine-grained.
+	got, err := vmdeflate.DeflateByFraction(vmdeflate.TransparentMechanism, low, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transparent 50%:", got, "| guest still sees",
+		low.Guest().OnlineVCPUs(), "vCPUs")
+
+	// Hybrid deflation (Figure 13): hot-unplug what the guest can safely
+	// give up, multiplex the rest.
+	got, err = vmdeflate.DeflateByFraction(vmdeflate.HybridMechanism, low, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hybrid 50%:     ", got, "| guest now sees",
+		low.Guest().OnlineVCPUs(), "vCPUs,",
+		low.Guest().PluggedMemoryMB(), "MB plugged")
+
+	// Reinflate to full size (deflation run backwards).
+	got, err = vmdeflate.HybridMechanism.Apply(low, low.MaxSize())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reinflated:     ", got)
+
+	// The host accounts committed vs capacity; an arriving on-demand VM
+	// would be admitted by the cluster manager via deflation (see the
+	// tracedriven example for the cluster-scale version).
+	od, err := host.Define(vmdeflate.DomainConfig{
+		Name: "database",
+		Size: vmdeflate.NewVector(40, 98304, 500, 5000),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := od.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed %.0f of %.0f cores (overcommit %.0f%%)\n",
+		host.Committed().Get(vmdeflate.CPU),
+		host.Capacity().Get(vmdeflate.CPU),
+		host.Overcommit()*100)
+}

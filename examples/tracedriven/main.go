@@ -1,0 +1,50 @@
+// Tracedriven: the Figure 20-22 scenario at demo scale — generate an
+// Azure-like trace, replay it through the deflation-aware cluster
+// manager at increasing overcommitment, and compare against the
+// preemption baseline.
+//
+// Run with: go run ./examples/tracedriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmdeflate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := vmdeflate.DefaultAzureConfig()
+	cfg.NumVMs = 1200
+	tr := vmdeflate.GenerateAzureTrace(cfg)
+
+	base, err := vmdeflate.BaselineServerCount(tr, vmdeflate.DefaultServerCapacity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d VMs; baseline cluster: %d servers (48 CPU / 128 GB each)\n\n",
+		len(tr.VMs), base)
+
+	ocs := []float64{0, 20, 40, 60}
+	for _, strategy := range []string{
+		vmdeflate.StrategyProportional,
+		vmdeflate.StrategyPreemption,
+	} {
+		sr, err := vmdeflate.SweepOvercommit(tr, strategy, ocs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- %s\n%8s %14s %14s %14s\n",
+			strategy, "oc%", "failure prob", "tput loss %", "rev-static +%")
+		inc := vmdeflate.RevenueIncrease(sr, "static")
+		for i, p := range sr.Points {
+			fmt.Printf("%8.0f %14.4f %14.2f %14.1f\n",
+				p.OvercommitPct, p.FailureProbability, p.ThroughputLossPct, inc[i])
+		}
+		fmt.Println()
+	}
+	fmt.Println("Deflation admits the same load with a fraction of the failures",
+		"\npreemption causes, while revenue grows with overcommitment (Fig 20-22).")
+}

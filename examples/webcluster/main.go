@@ -1,0 +1,39 @@
+// Webcluster: the Figure 19 scenario — three Wikipedia replicas behind
+// a load balancer; two replicas are deflated progressively, and the
+// deflation-aware balancer is compared with vanilla weighted round
+// robin.
+//
+// Run with: go run ./examples/webcluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmdeflate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := vmdeflate.DefaultLBConfig()
+	cfg.Duration = 60
+
+	fmt.Println("3 Wikipedia replicas (10 cores each), 200 req/s; replicas 1-2 deflatable")
+	fmt.Printf("%8s  %21s  %21s\n", "", "mean RT (s)", "p90 RT (s)")
+	fmt.Printf("%8s  %10s %10s  %10s %10s\n", "defl%", "aware", "vanilla", "aware", "vanilla")
+	for _, pct := range []float64{0, 20, 40, 60, 80} {
+		aware, err := vmdeflate.RunLBExperiment(cfg, pct, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vanilla, err := vmdeflate.RunLBExperiment(cfg, pct, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f  %10.3f %10.3f  %10.3f %10.3f\n",
+			pct, aware.Mean, vanilla.Mean, aware.P90, vanilla.P90)
+	}
+	fmt.Println("\nThe deflation-aware balancer shifts load toward the undeflated",
+		"\nreplica as deflation deepens, cutting tail latency (paper: 15-40%).")
+}

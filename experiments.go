@@ -1,0 +1,138 @@
+package vmdeflate
+
+import (
+	"vmdeflate/internal/apps"
+	"vmdeflate/internal/clustersim"
+	"vmdeflate/internal/feasibility"
+	"vmdeflate/internal/trace"
+)
+
+// This file exposes the paper's experiment harnesses through the public
+// API: the Section 3 feasibility analysis, the Section 7.2-7.3 testbed
+// application experiments, and the Section 7.4 cluster-scale simulation.
+
+// --- Feasibility analysis (Figures 5-12) ---
+
+// FeasibilityTable is a per-deflation-level population summary.
+type FeasibilityTable = feasibility.Table
+
+// DefaultDeflationLevels is the x-axis shared by Figures 5-12.
+func DefaultDeflationLevels() []float64 {
+	return append([]float64(nil), feasibility.DefaultDeflationLevels...)
+}
+
+// CPUFeasibility computes Figure 5 from an Azure-like trace.
+func CPUFeasibility(tr *AzureTrace, levels []float64) (FeasibilityTable, error) {
+	return feasibility.CPUFeasibility(tr, levels)
+}
+
+// FeasibilityByClass computes Figure 6.
+func FeasibilityByClass(tr *AzureTrace, levels []float64) ([]FeasibilityTable, error) {
+	return feasibility.ByClass(tr, levels)
+}
+
+// FeasibilityBySize computes Figure 7.
+func FeasibilityBySize(tr *AzureTrace, levels []float64) ([]FeasibilityTable, error) {
+	return feasibility.BySize(tr, levels)
+}
+
+// FeasibilityByPeak computes Figure 8.
+func FeasibilityByPeak(tr *AzureTrace, levels []float64) ([]FeasibilityTable, error) {
+	return feasibility.ByPeak(tr, levels)
+}
+
+// FormatFeasibilityTable renders a table as aligned text.
+func FormatFeasibilityTable(t FeasibilityTable) string { return feasibility.FormatTable(t) }
+
+// --- Application experiments (Figures 3, 14, 16-19) ---
+
+// WikipediaConfig parameterises the Figure 16/17 experiment.
+type WikipediaConfig = apps.WikipediaConfig
+
+// WikipediaPoint is one deflation level's measurements.
+type WikipediaPoint = apps.WikipediaPoint
+
+// DefaultWikipediaConfig mirrors Section 7.2 (30 cores, 800 req/s).
+func DefaultWikipediaConfig() WikipediaConfig { return apps.DefaultWikipediaConfig() }
+
+// RunWikipedia measures the Wikipedia application at one CPU deflation
+// level.
+func RunWikipedia(cfg WikipediaConfig, deflPct float64) (WikipediaPoint, error) {
+	return apps.RunWikipedia(cfg, deflPct)
+}
+
+// SocialNetConfig parameterises the Figure 18 experiment.
+type SocialNetConfig = apps.SocialNetConfig
+
+// SocialNetPoint is one deflation level's measurements.
+type SocialNetPoint = apps.SocialNetPoint
+
+// DefaultSocialNetConfig mirrors Section 7.2 (30 microservices, 500 req/s).
+func DefaultSocialNetConfig() SocialNetConfig { return apps.DefaultSocialNetConfig() }
+
+// RunSocialNetwork measures the social-network application with 22 of
+// its 30 microservices deflated by deflPct.
+func RunSocialNetwork(cfg SocialNetConfig, deflPct float64) (SocialNetPoint, error) {
+	return apps.RunSocialNetwork(cfg, deflPct)
+}
+
+// LBConfig parameterises the Figure 19 experiment.
+type LBConfig = apps.LBConfig
+
+// LBPoint is one deflation level's measurements for one balancer.
+type LBPoint = apps.LBPoint
+
+// DefaultLBConfig mirrors Section 7.3 (3 replicas, 200 req/s).
+func DefaultLBConfig() LBConfig { return apps.DefaultLBConfig() }
+
+// RunLBExperiment measures response times behind a vanilla or
+// deflation-aware load balancer at one deflation level.
+func RunLBExperiment(cfg LBConfig, deflPct float64, deflationAware bool) (LBPoint, error) {
+	return apps.RunLBExperiment(cfg, deflPct, deflationAware)
+}
+
+// --- Cluster-scale simulation (Figures 20-22) ---
+
+// SimConfig parameterises a trace-driven cluster simulation run.
+type SimConfig = clustersim.Config
+
+// SimResult summarises one run.
+type SimResult = clustersim.Result
+
+// SimSweepResult holds a full overcommitment sweep for one strategy.
+type SimSweepResult = clustersim.SweepResult
+
+// Simulation strategies.
+const (
+	StrategyProportional  = clustersim.StrategyProportional
+	StrategyPriority      = clustersim.StrategyPriority
+	StrategyDeterministic = clustersim.StrategyDeterministic
+	StrategyPartitioned   = clustersim.StrategyPartitioned
+	StrategyPreemption    = clustersim.StrategyPreemption
+)
+
+// RunSimulation executes one trace-driven cluster simulation.
+func RunSimulation(cfg SimConfig) (*SimResult, error) { return clustersim.Run(cfg) }
+
+// SweepOvercommit runs one strategy across overcommitment percentages.
+func SweepOvercommit(tr *AzureTrace, strategy string, overcommitPcts []float64) (*SimSweepResult, error) {
+	return clustersim.Sweep(tr, strategy, overcommitPcts)
+}
+
+// RevenueIncrease converts a sweep's revenue into Figure 22's
+// "increase in revenue %" series for one pricing scheme.
+func RevenueIncrease(sr *SimSweepResult, scheme string) []float64 {
+	return clustersim.RevenueIncrease(sr, scheme)
+}
+
+// BaselineServerCount returns the minimum cluster size that runs the
+// trace without rejections at full allocations.
+func BaselineServerCount(tr *AzureTrace, serverCapacity Vector) (int, error) {
+	return clustersim.BaselineServerCount(tr, serverCapacity)
+}
+
+// DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB.
+func DefaultServerCapacity() Vector { return clustersim.DefaultServerCapacity() }
+
+// SampleInterval is the trace sampling granularity (300 s).
+const SampleInterval = trace.SampleInterval

@@ -1,0 +1,5 @@
+package apps
+
+import "vmdeflate/internal/sim"
+
+func simEngineForTest() *sim.Engine { return sim.NewEngine(1) }

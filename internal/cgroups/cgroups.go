@@ -1,0 +1,193 @@
+// Package cgroups models the Linux control-group controllers the paper's
+// transparent deflation mechanisms are built on (Sections 4.2 and 6): CPU
+// bandwidth control (cpu.shares / CFS quota), memory limits
+// (memory.limit_in_bytes), block-I/O throttling, and network bandwidth
+// limits. Each KVM domain runs inside one cgroup; setting a limit below
+// the domain's nominal allocation is exactly "transparent deflation".
+package cgroups
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vmdeflate/internal/resources"
+)
+
+// Errors returned by the hierarchy.
+var (
+	ErrExists   = errors.New("cgroups: group already exists")
+	ErrNotFound = errors.New("cgroups: group not found")
+	ErrInvalid  = errors.New("cgroups: invalid limit")
+)
+
+// Unlimited marks a controller with no limit set.
+const Unlimited = -1.0
+
+// Group is one cgroup holding a single VM. Limits use the same units as
+// resources.Vector: cores, MB, MB/s, Mbit/s. A negative limit means
+// unlimited (the controller is not engaged).
+type Group struct {
+	name string
+
+	mu     sync.Mutex
+	limits resources.Vector
+	set    [resources.NumKinds]bool
+
+	// usage is the most recently reported consumption, for accounting.
+	usage resources.Vector
+}
+
+// Name returns the group's path-like name.
+func (g *Group) Name() string { return g.name }
+
+// SetLimit engages the controller for kind k at the given value.
+// A zero CPU or memory limit is rejected: freezing a VM entirely is
+// preemption, not deflation.
+func (g *Group) SetLimit(k resources.Kind, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("%w: %s=%g", ErrInvalid, k, v)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.limits[k] = v
+	g.set[k] = true
+	return nil
+}
+
+// ClearLimit disengages the controller for kind k.
+func (g *Group) ClearLimit(k resources.Kind) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.limits[k] = 0
+	g.set[k] = false
+}
+
+// Limit returns the limit for kind k and whether one is engaged.
+func (g *Group) Limit(k resources.Kind) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.limits[k], g.set[k]
+}
+
+// Limits returns the full limit vector with Unlimited for disengaged
+// controllers.
+func (g *Group) Limits() resources.Vector {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out resources.Vector
+	for i := range out {
+		if g.set[i] {
+			out[i] = g.limits[i]
+		} else {
+			out[i] = Unlimited
+		}
+	}
+	return out
+}
+
+// Effective caps nominal by every engaged limit: the resources actually
+// available to the VM in the group.
+func (g *Group) Effective(nominal resources.Vector) resources.Vector {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := nominal
+	for i := range out {
+		if g.set[i] && g.limits[i] < out[i] {
+			out[i] = g.limits[i]
+		}
+	}
+	return out
+}
+
+// ReportUsage records observed consumption for accounting.
+func (g *Group) ReportUsage(u resources.Vector) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.usage = u
+}
+
+// Usage returns the last reported consumption.
+func (g *Group) Usage() resources.Vector {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.usage
+}
+
+// Throttled reports, per resource, whether the last reported usage was
+// clipped by an engaged limit (within 1%), i.e. the VM is actually
+// feeling the deflation.
+func (g *Group) Throttled() [resources.NumKinds]bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out [resources.NumKinds]bool
+	for i := range out {
+		out[i] = g.set[i] && g.usage[i] >= g.limits[i]*0.99
+	}
+	return out
+}
+
+// Hierarchy is a flat namespace of groups, one per VM, owned by a host.
+type Hierarchy struct {
+	mu     sync.Mutex
+	groups map[string]*Group
+}
+
+// NewHierarchy creates an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{groups: make(map[string]*Group)}
+}
+
+// Create adds a group.
+func (h *Hierarchy) Create(name string) (*Group, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.groups[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	g := &Group{name: name}
+	h.groups[name] = g
+	return g, nil
+}
+
+// Lookup finds a group by name.
+func (h *Hierarchy) Lookup(name string) (*Group, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g, ok := h.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return g, nil
+}
+
+// Remove deletes a group.
+func (h *Hierarchy) Remove(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.groups[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(h.groups, name)
+	return nil
+}
+
+// Names returns all group names in sorted order.
+func (h *Hierarchy) Names() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.groups))
+	for n := range h.groups {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of groups.
+func (h *Hierarchy) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.groups)
+}

@@ -1,0 +1,151 @@
+package cgroups
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"vmdeflate/internal/resources"
+)
+
+func TestHierarchyCreateLookupRemove(t *testing.T) {
+	h := NewHierarchy()
+	g, err := h.Create("machine/vm-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "machine/vm-1" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if _, err := h.Create("machine/vm-1"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create err = %v", err)
+	}
+	got, err := h.Lookup("machine/vm-1")
+	if err != nil || got != g {
+		t.Errorf("Lookup = %v, %v", got, err)
+	}
+	if _, err := h.Lookup("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing lookup err = %v", err)
+	}
+	if err := h.Remove("machine/vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Remove("machine/vm-1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove err = %v", err)
+	}
+}
+
+func TestHierarchyNames(t *testing.T) {
+	h := NewHierarchy()
+	h.Create("b")
+	h.Create("a")
+	h.Create("c")
+	names := h.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+	if h.Len() != 3 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestLimits(t *testing.T) {
+	g := &Group{name: "vm"}
+	if _, ok := g.Limit(resources.CPU); ok {
+		t.Error("no limit should be engaged initially")
+	}
+	if err := g.SetLimit(resources.CPU, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := g.Limit(resources.CPU)
+	if !ok || v != 2.5 {
+		t.Errorf("Limit = %v, %v", v, ok)
+	}
+	if err := g.SetLimit(resources.Memory, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero limit err = %v", err)
+	}
+	if err := g.SetLimit(resources.Memory, -1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative limit err = %v", err)
+	}
+	g.ClearLimit(resources.CPU)
+	if _, ok := g.Limit(resources.CPU); ok {
+		t.Error("ClearLimit did not disengage")
+	}
+}
+
+func TestLimitsVector(t *testing.T) {
+	g := &Group{name: "vm"}
+	g.SetLimit(resources.CPU, 2)
+	l := g.Limits()
+	if l[resources.CPU] != 2 {
+		t.Errorf("cpu limit = %v", l[resources.CPU])
+	}
+	for _, k := range []resources.Kind{resources.Memory, resources.DiskBW, resources.NetBW} {
+		if l[k] != Unlimited {
+			t.Errorf("%v should be Unlimited, got %v", k, l[k])
+		}
+	}
+}
+
+func TestEffective(t *testing.T) {
+	g := &Group{name: "vm"}
+	nominal := resources.New(8, 16384, 100, 1000)
+	if got := g.Effective(nominal); got != nominal {
+		t.Errorf("unengaged effective = %v", got)
+	}
+	g.SetLimit(resources.CPU, 4)
+	g.SetLimit(resources.Memory, 8192)
+	got := g.Effective(nominal)
+	want := resources.New(4, 8192, 100, 1000)
+	if got != want {
+		t.Errorf("effective = %v, want %v", got, want)
+	}
+	// Limit above nominal does not inflate.
+	g.SetLimit(resources.CPU, 100)
+	if got := g.Effective(nominal); got.Get(resources.CPU) != 8 {
+		t.Errorf("limit above nominal should not inflate: %v", got)
+	}
+}
+
+func TestUsageAndThrottled(t *testing.T) {
+	g := &Group{name: "vm"}
+	g.SetLimit(resources.CPU, 4)
+	g.ReportUsage(resources.New(3.96, 1000, 0, 0))
+	th := g.Throttled()
+	if !th[resources.CPU] {
+		t.Error("usage at 99% of limit should be throttled")
+	}
+	if th[resources.Memory] {
+		t.Error("memory has no engaged limit")
+	}
+	if got := g.Usage(); got.Get(resources.CPU) != 3.96 {
+		t.Errorf("Usage = %v", got)
+	}
+	g.ReportUsage(resources.New(1, 1000, 0, 0))
+	if g.Throttled()[resources.CPU] {
+		t.Error("low usage should not be throttled")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	h := NewHierarchy()
+	g, _ := h.Create("vm")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				g.SetLimit(resources.CPU, float64(i+1))
+				g.Effective(resources.New(8, 8192, 0, 0))
+				g.ReportUsage(resources.New(float64(j), 0, 0, 0))
+				g.Limits()
+				h.Names()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v, ok := g.Limit(resources.CPU); !ok || v < 1 || v > 8 {
+		t.Errorf("final limit = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,505 @@
+// Package cluster implements the centralized cluster manager of Sections
+// 5.2 and 6: deflation-aware VM placement using cosine-similarity
+// fitness, optional priority-partitioned server pools, the three-step
+// placement protocol (choose best server → compute required deflation →
+// deflate and launch), reinflation on VM departure, and admission
+// control when even maximal deflation cannot make room.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/mechanism"
+	"vmdeflate/internal/notify"
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/resources"
+)
+
+// applyAndNotify applies target to d via cfg.Mechanism and publishes an
+// allocation-change event when a bus is configured.
+func applyAndNotify(s *Server, cfg Config, d *hypervisor.Domain, target resources.Vector) error {
+	old := d.Allocation()
+	got, err := cfg.Mechanism.Apply(d, target)
+	if err != nil {
+		return err
+	}
+	if cfg.Notify != nil && got != old {
+		cfg.Notify.Publish(notify.Event{
+			VM:                d.Name(),
+			Server:            s.Host.Name(),
+			Kind:              notify.Classify(old, got),
+			Old:               old,
+			New:               got,
+			DeflationFraction: d.DeflationFraction(),
+			Mechanism:         d.DeflatedBy(),
+		})
+	}
+	return nil
+}
+
+// Errors returned by the manager.
+var (
+	// ErrNoCapacity is an admission-control rejection: no server can host
+	// the VM even after deflating every deflatable VM to its floor. In
+	// Figure 20's terms this is a "failure to reclaim sufficient
+	// resources".
+	ErrNoCapacity = errors.New("cluster: no server can host the VM")
+	// ErrNotFound reports an unknown VM or server.
+	ErrNotFound = errors.New("cluster: not found")
+	// ErrExists reports a duplicate name.
+	ErrExists = errors.New("cluster: already exists")
+)
+
+// Config parameterises a Manager.
+type Config struct {
+	// Policy is the server-level deflation policy.
+	Policy policy.Policy
+	// Mechanism applies deflation targets to domains.
+	Mechanism mechanism.Mechanism
+	// PartitionByPriority places VMs only on servers of their priority
+	// pool (Section 5.2.1). Non-deflatable VMs use pool 0.
+	PartitionByPriority bool
+	// PriorityLevels is the number of discrete priority levels (4 in the
+	// paper's simulation).
+	PriorityLevels int
+	// Notify, when set, receives an event for every allocation change
+	// (Figure 1's notification to the application manager / load
+	// balancer).
+	Notify *notify.Bus
+}
+
+func (c *Config) applyDefaults() {
+	if c.Policy == nil {
+		c.Policy = policy.Proportional{}
+	}
+	if c.Mechanism == nil {
+		c.Mechanism = mechanism.Transparent{}
+	}
+	if c.PriorityLevels <= 0 {
+		c.PriorityLevels = 4
+	}
+}
+
+// WithDefaults returns a copy of c with unset fields filled in
+// (proportional policy, transparent mechanism, 4 priority levels).
+func (c Config) WithDefaults() Config {
+	c.applyDefaults()
+	return c
+}
+
+// Server is one managed physical server.
+type Server struct {
+	Host *hypervisor.Host
+	// Partition is the server's priority pool (0-based); -1 when
+	// partitioning is disabled.
+	Partition int
+}
+
+// Manager is the centralized cluster manager.
+type Manager struct {
+	mu         sync.Mutex
+	cfg        Config
+	servers    []*Server
+	placements map[string]*Server
+
+	// DeflationEvents counts how many times an existing VM's allocation
+	// was reduced to admit another VM.
+	DeflationEvents int
+	// Rejections counts admission-control failures.
+	Rejections int
+}
+
+// NewManager creates a manager with the given configuration.
+func NewManager(cfg Config) *Manager {
+	cfg.applyDefaults()
+	return &Manager{cfg: cfg, placements: make(map[string]*Server)}
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// AddServer registers a new physical server. When partitioning is
+// enabled, partition assigns its pool; pass 0..PriorityLevels-1.
+func (m *Manager) AddServer(name string, capacity resources.Vector, partition int) (*Server, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.servers {
+		if s.Host.Name() == name {
+			return nil, fmt.Errorf("%w: server %s", ErrExists, name)
+		}
+	}
+	h, err := hypervisor.NewHost(hypervisor.HostConfig{Name: name, Capacity: capacity})
+	if err != nil {
+		return nil, err
+	}
+	if !m.cfg.PartitionByPriority {
+		partition = -1
+	}
+	s := &Server{Host: h, Partition: partition}
+	m.servers = append(m.servers, s)
+	return s, nil
+}
+
+// Servers returns the managed servers.
+func (m *Manager) Servers() []*Server {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Server, len(m.servers))
+	copy(out, m.servers)
+	return out
+}
+
+// PartitionOf maps a VM to its priority pool index.
+func (m *Manager) PartitionOf(dc hypervisor.DomainConfig) int {
+	if !m.cfg.PartitionByPriority {
+		return -1
+	}
+	if !dc.Deflatable {
+		return m.cfg.PriorityLevels - 1 // on-demand VMs share the highest pool
+	}
+	level := int(dc.Priority * float64(m.cfg.PriorityLevels))
+	if level >= m.cfg.PriorityLevels {
+		level = m.cfg.PriorityLevels - 1
+	}
+	if level < 0 {
+		level = 0
+	}
+	return level
+}
+
+// Fitness scores a server's availability A for a demand D. Section 5.2
+// writes the score as the cosine similarity A·D/(|A||D|), following the
+// multi-resource packing of Tetris [19]; Tetris's alignment score keeps
+// the magnitude of A (it is a projection, not a pure angle), and the
+// paper's own availability vector discounts overcommitted servers
+// precisely so that "this approach prefers servers with lower
+// overcommitment" — which only has an effect if |A| matters. We
+// therefore normalise by |D| only: fitness = A·D/|D|, the length of A's
+// projection onto the demand direction.
+func Fitness(demand, avail resources.Vector) float64 {
+	nd := demand.Norm()
+	if nd < 1e-9 {
+		nd = 1e-9
+	}
+	return avail.Dot(demand) / nd
+}
+
+// Availability computes the paper's placement availability vector:
+// A_j = Total_j - Used_j + deflatable_j/(1 + overcommit_j), where
+// deflatable_j is the total resource reclaimable from deflatable VMs and
+// overcommit_j discounts servers that are already squeezed.
+func Availability(s *Server) resources.Vector {
+	total := s.Host.Capacity()
+	used := s.Host.Allocated()
+	var deflatable resources.Vector
+	for _, d := range s.Host.Domains() {
+		if d.State() != hypervisor.Running || !d.Deflatable() {
+			continue
+		}
+		deflatable = deflatable.Add(d.Allocation().Sub(floorOf(d)).ClampNonNegative())
+	}
+	oc := s.Host.Overcommit()
+	avail := total.Sub(used).Add(deflatable.Scale(1 / (1 + oc)))
+	return avail.ClampNonNegative()
+}
+
+// floorOf returns a domain's deflation floor: its configured minimum
+// allocation, or the mechanism floor when none is set.
+func floorOf(d *hypervisor.Domain) resources.Vector {
+	min := d.MinAllocation()
+	if min.IsZero() {
+		min = resources.New(0.05, 64, 0, 0).Min(d.MaxSize())
+	}
+	return min
+}
+
+// PlaceVM runs the three-step placement of Section 6: pick the fittest
+// server, have it compute the deflation required to make room (possibly
+// deflating the newcomer itself), then perform the deflation and launch.
+// It returns the running domain and its server, or ErrNoCapacity.
+func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Server, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.placements[dc.Name]; ok {
+		return nil, nil, fmt.Errorf("%w: VM %s", ErrExists, dc.Name)
+	}
+
+	part := m.PartitionOf(dc)
+	var pool []*Server
+	for _, s := range m.servers {
+		if part >= 0 && s.Partition != part {
+			continue
+		}
+		pool = append(pool, s)
+	}
+
+	// Surplus-first: "when there is surplus capacity in the cluster, the
+	// cloud manager allocates these resources ... without deflating"
+	// (Section 5). Among servers that can host the VM with no deflation,
+	// tightest fit preserves large contiguous capacity for future big
+	// VMs; spreading every VM across all servers would leave a little
+	// unreclaimable (non-deflatable) allocation everywhere and strand
+	// large on-demand arrivals.
+	best, bestLeft := (*Server)(nil), 0.0
+	for _, s := range pool {
+		freeCap := s.Host.Capacity().Sub(s.Host.Allocated())
+		if !dc.Size.FitsIn(freeCap) {
+			continue
+		}
+		left := freeCap.Sub(dc.Size).DominantShare(s.Host.Capacity())
+		if best == nil || left < bestLeft {
+			best, bestLeft = s, left
+		}
+	}
+	if best != nil {
+		d, deflations, err := PlaceOn(best, m.cfg, dc)
+		if err == nil {
+			m.DeflationEvents += deflations
+			m.placements[dc.Name] = best
+			return d, best, nil
+		}
+	}
+
+	// Under pressure: rank by the deflation-aware availability fitness
+	// of Section 5.2 and deflate residents on the best server that can
+	// absorb the newcomer.
+	type cand struct {
+		s       *Server
+		fitness float64
+	}
+	var cands []cand
+	for _, s := range pool {
+		cands = append(cands, cand{s, Fitness(dc.Size, Availability(s))})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].fitness > cands[j].fitness })
+
+	for _, c := range cands {
+		if c.s == best {
+			continue // already tried above
+		}
+		d, deflations, err := PlaceOn(c.s, m.cfg, dc)
+		if err == nil {
+			m.DeflationEvents += deflations
+			m.placements[dc.Name] = c.s
+			return d, c.s, nil
+		}
+	}
+	m.Rejections++
+	return nil, nil, fmt.Errorf("%w: %s (size %v)", ErrNoCapacity, dc.Name, dc.Size)
+}
+
+// PlaceOn attempts placement on one server, implementing steps 2 and 3
+// of the placement protocol: the server computes the deflation needed to
+// host dc and, if feasible, applies it and launches the VM. It returns
+// the new domain and how many resident VMs were deflated. PlaceOn is
+// used both by the in-process Manager and by the per-server local
+// controller daemon (cmd/noded).
+func PlaceOn(s *Server, cfg Config, dc hypervisor.DomainConfig) (*hypervisor.Domain, int, error) {
+	cfg.applyDefaults()
+	free := s.Host.Capacity().Sub(s.Host.Allocated())
+	need := dc.Size.Sub(free).ClampNonNegative()
+
+	if need.IsZero() {
+		// Room available without any deflation.
+		d, err := launch(s, cfg, dc, dc.Size)
+		return d, 0, err
+	}
+
+	// Collect deflatable VMs; the newcomer joins the pool if it is
+	// itself deflatable ("a new incoming VM ... can thus start its
+	// execution in a deflated mode", Section 5.1.1).
+	var vms []policy.VMState
+	domains := map[string]*hypervisor.Domain{}
+	for _, d := range s.Host.Domains() {
+		if d.State() != hypervisor.Running || !d.Deflatable() {
+			continue
+		}
+		vms = append(vms, policy.VMState{
+			Name:     d.Name(),
+			Max:      d.MaxSize(),
+			Min:      floorOf(d),
+			Priority: d.Priority(),
+			Current:  d.Allocation(),
+		})
+		domains[d.Name()] = d
+	}
+	const newcomer = "\x00newcomer"
+	if dc.Deflatable {
+		min := dc.MinAllocation
+		if min.IsZero() {
+			min = resources.New(0.05, 64, 0, 0).Min(dc.Size)
+		}
+		vms = append(vms, policy.VMState{
+			Name:     newcomer,
+			Max:      dc.Size,
+			Min:      min,
+			Priority: dc.Priority,
+			Current:  dc.Size, // joins at full size; policy shrinks it
+		})
+	}
+
+	res, err := cfg.Policy.Targets(vms, need)
+	if err != nil {
+		return nil, 0, err // insufficient: caller tries the next server
+	}
+
+	// Apply deflation to resident VMs.
+	deflations := 0
+	for name, target := range res.Targets {
+		if name == newcomer {
+			continue
+		}
+		d := domains[name]
+		if target.DeflationFraction(d.Allocation()) > 1e-9 {
+			deflations++
+		}
+		if err := applyAndNotify(s, cfg, d, target); err != nil {
+			return nil, deflations, err
+		}
+	}
+	initial := dc.Size
+	if t, ok := res.Targets[newcomer]; ok {
+		initial = t
+	}
+	d, err := launch(s, cfg, dc, initial)
+	return d, deflations, err
+}
+
+// launch defines, starts and initially sizes the new domain.
+func launch(s *Server, cfg Config, dc hypervisor.DomainConfig, initial resources.Vector) (*hypervisor.Domain, error) {
+	d, err := s.Host.Define(dc)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Start(); err != nil {
+		s.Host.Undefine(dc.Name)
+		return nil, err
+	}
+	if !initial.FitsIn(dc.Size) || initial != dc.Size {
+		if _, err := cfg.Mechanism.Apply(d, initial); err != nil {
+			d.Shutdown()
+			s.Host.Undefine(dc.Name)
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// LookupVM finds a placed VM's domain and server.
+func (m *Manager) LookupVM(name string) (*hypervisor.Domain, *Server, error) {
+	m.mu.Lock()
+	s, ok := m.placements[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: VM %s", ErrNotFound, name)
+	}
+	d, err := s.Host.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, s, nil
+}
+
+// RemoveVM stops and removes a VM, then reinflates the survivors on its
+// server with the freed resources (R = -R_free, Section 5.1.3).
+func (m *Manager) RemoveVM(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.placements[name]
+	if !ok {
+		return fmt.Errorf("%w: VM %s", ErrNotFound, name)
+	}
+	d, err := s.Host.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if d.State() == hypervisor.Running {
+		if err := d.Shutdown(); err != nil {
+			return err
+		}
+	}
+	if err := s.Host.Undefine(name); err != nil {
+		return err
+	}
+	delete(m.placements, name)
+	return Reinflate(s, m.cfg)
+}
+
+// Reinflate redistributes free capacity to deflated VMs on s ("run the
+// proportional deflation backwards", Section 5.1.3). Like PlaceOn it is
+// shared between the in-process Manager and the local controller daemon.
+func Reinflate(s *Server, cfg Config) error {
+	cfg.applyDefaults()
+	free := s.Host.Capacity().Sub(s.Host.Allocated()).ClampNonNegative()
+	if free.IsZero() {
+		return nil
+	}
+	var vms []policy.VMState
+	domains := map[string]*hypervisor.Domain{}
+	anyDeflated := false
+	for _, d := range s.Host.Domains() {
+		if d.State() != hypervisor.Running || !d.Deflatable() {
+			continue
+		}
+		cur := d.Allocation()
+		if cur.Sub(d.MaxSize()).ClampNonNegative().IsZero() && cur != d.MaxSize() {
+			anyDeflated = true
+		}
+		vms = append(vms, policy.VMState{
+			Name:     d.Name(),
+			Max:      d.MaxSize(),
+			Min:      floorOf(d),
+			Priority: d.Priority(),
+			Current:  cur,
+		})
+		domains[d.Name()] = d
+	}
+	if len(vms) == 0 || !anyDeflated {
+		return nil
+	}
+	res, err := cfg.Policy.Targets(vms, free.Scale(-1))
+	if err != nil && !errors.Is(err, policy.ErrInsufficient) {
+		return err
+	}
+	for name, target := range res.Targets {
+		if err := applyAndNotify(s, cfg, domains[name], target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarises the cluster's resource state.
+type Stats struct {
+	Servers   int
+	VMs       int
+	Capacity  resources.Vector
+	Committed resources.Vector
+	Allocated resources.Vector
+	// Overcommit is committed/capacity - 1 on the dominant dimension
+	// (0 when under-committed).
+	Overcommit float64
+}
+
+// Stats returns the current cluster-wide statistics.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var st Stats
+	st.Servers = len(m.servers)
+	st.VMs = len(m.placements)
+	for _, s := range m.servers {
+		st.Capacity = st.Capacity.Add(s.Host.Capacity())
+		st.Committed = st.Committed.Add(s.Host.Committed())
+		st.Allocated = st.Allocated.Add(s.Host.Allocated())
+	}
+	oc := st.Committed.DominantShare(st.Capacity)
+	if oc > 1 {
+		st.Overcommit = oc - 1
+	}
+	return st
+}

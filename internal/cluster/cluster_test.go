@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/mechanism"
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/resources"
+)
+
+func serverCap() resources.Vector { return resources.New(48, 131072, 0, 0) }
+
+func newTestManager(t *testing.T, nServers int, cfg Config) *Manager {
+	t.Helper()
+	m := NewManager(cfg)
+	for i := 0; i < nServers; i++ {
+		if _, err := m.AddServer(fmt.Sprintf("node-%d", i), serverCap(), i%max(1, cfg.PriorityLevels)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func deflatableVM(name string, cores, memMB, prio float64) hypervisor.DomainConfig {
+	return hypervisor.DomainConfig{
+		Name:       name,
+		Size:       resources.CPUMem(cores, memMB),
+		Deflatable: true,
+		Priority:   prio,
+	}
+}
+
+func onDemandVM(name string, cores, memMB float64) hypervisor.DomainConfig {
+	return hypervisor.DomainConfig{Name: name, Size: resources.CPUMem(cores, memMB)}
+}
+
+func TestAddServerDuplicate(t *testing.T) {
+	m := NewManager(Config{})
+	if _, err := m.AddServer("a", serverCap(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddServer("a", serverCap(), 0); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate server err = %v", err)
+	}
+	if len(m.Servers()) != 1 {
+		t.Errorf("servers = %d", len(m.Servers()))
+	}
+}
+
+func TestPlaceWithoutDeflation(t *testing.T) {
+	m := newTestManager(t, 2, Config{})
+	d, s, err := m.PlaceVM(deflatableVM("vm-1", 8, 16384, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != hypervisor.Running {
+		t.Errorf("state = %v", d.State())
+	}
+	if d.Allocation() != d.MaxSize() {
+		t.Errorf("undeflated placement should give full size: %v", d.Allocation())
+	}
+	if s == nil {
+		t.Fatal("nil server")
+	}
+	if m.DeflationEvents != 0 {
+		t.Errorf("deflation events = %d", m.DeflationEvents)
+	}
+}
+
+func TestPlaceDuplicateVM(t *testing.T) {
+	m := newTestManager(t, 1, Config{})
+	if _, _, err := m.PlaceVM(deflatableVM("vm", 2, 4096, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PlaceVM(deflatableVM("vm", 2, 4096, 0.5)); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate VM err = %v", err)
+	}
+}
+
+func TestPlacementPacksSurplusTightly(t *testing.T) {
+	m := newTestManager(t, 4, Config{})
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		_, s, err := m.PlaceVM(deflatableVM(fmt.Sprintf("vm-%d", i), 12, 32768, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s.Host.Name()]++
+	}
+	// Surplus-first placement is tightest-fit: 8 x 12-core VMs fill two
+	// 48-core servers completely before touching the others, keeping the
+	// remaining servers whole for large future arrivals.
+	used := 0
+	for _, c := range counts {
+		used++
+		if c != 4 {
+			t.Errorf("expected full packing (4 VMs/server), got %v", counts)
+			break
+		}
+	}
+	if used != 2 {
+		t.Errorf("expected exactly 2 servers used, got %v", counts)
+	}
+}
+
+func TestPlacementPrefersDeflationOverRejection(t *testing.T) {
+	m := newTestManager(t, 2, Config{})
+	// Fill both servers with deflatable load.
+	for i := 0; i < 2; i++ {
+		if _, _, err := m.PlaceVM(deflatableVM(fmt.Sprintf("low-%d", i), 48, 98304, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A new on-demand VM must still be admitted by deflating residents.
+	d, _, err := m.PlaceVM(onDemandVM("od", 16, 16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allocation() != d.MaxSize() {
+		t.Errorf("on-demand allocation = %v", d.Allocation())
+	}
+}
+
+func TestPlaceTriggersDeflation(t *testing.T) {
+	m := newTestManager(t, 1, Config{Policy: policy.Proportional{}, Mechanism: mechanism.Transparent{}})
+	// Fill the server: 40 cores of deflatable + on-demand needing 16.
+	if _, _, err := m.PlaceVM(deflatableVM("low-1", 40, 65536, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := m.PlaceVM(onDemandVM("od-1", 16, 32768))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allocation() != d.MaxSize() {
+		t.Errorf("on-demand VM must get full size: %v", d.Allocation())
+	}
+	low, _, err := m.LookupVM("low-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// low-1 must have been deflated to 48-16=32 cores.
+	if got := low.Allocation().Get(resources.CPU); got > 32.001 {
+		t.Errorf("deflatable VM allocation = %v, want <= 32", got)
+	}
+	if m.DeflationEvents == 0 {
+		t.Error("expected a deflation event")
+	}
+	// Server never over-allocated.
+	srv := m.Servers()[0]
+	if !srv.Host.Allocated().FitsIn(srv.Host.Capacity()) {
+		t.Errorf("allocated %v exceeds capacity", srv.Host.Allocated())
+	}
+}
+
+func TestNewcomerStartsDeflated(t *testing.T) {
+	m := newTestManager(t, 1, Config{})
+	if _, _, err := m.PlaceVM(deflatableVM("a", 40, 65536, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	// Another deflatable 40-core VM: total 80 > 48 -> both deflate.
+	d, _, err := m.PlaceVM(deflatableVM("b", 40, 65536, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Allocation().Get(resources.CPU); got >= 40 {
+		t.Errorf("newcomer should start deflated: %v", got)
+	}
+	srv := m.Servers()[0]
+	if !srv.Host.Allocated().FitsIn(srv.Host.Capacity()) {
+		t.Errorf("allocated %v exceeds capacity", srv.Host.Allocated())
+	}
+}
+
+func TestAdmissionControlRejects(t *testing.T) {
+	m := newTestManager(t, 1, Config{})
+	if _, _, err := m.PlaceVM(onDemandVM("od-1", 40, 65536)); err != nil {
+		t.Fatal(err)
+	}
+	// A 16-core on-demand VM cannot fit: nothing is deflatable.
+	_, _, err := m.PlaceVM(onDemandVM("od-2", 16, 32768))
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+	if m.Rejections != 1 {
+		t.Errorf("rejections = %d", m.Rejections)
+	}
+}
+
+func TestRemoveVMReinflates(t *testing.T) {
+	m := newTestManager(t, 1, Config{})
+	if _, _, err := m.PlaceVM(deflatableVM("low", 40, 65536, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PlaceVM(onDemandVM("od", 16, 32768)); err != nil {
+		t.Fatal(err)
+	}
+	low, _, _ := m.LookupVM("low")
+	if got := low.Allocation().Get(resources.CPU); got > 32.001 {
+		t.Fatalf("setup: low = %v", got)
+	}
+	if err := m.RemoveVM("od"); err != nil {
+		t.Fatal(err)
+	}
+	// Freed capacity flows back: low reinflates to full.
+	if got := low.Allocation().Get(resources.CPU); got < 39.999 {
+		t.Errorf("after departure low = %v, want reinflated to 40", got)
+	}
+}
+
+func TestRemoveVMErrors(t *testing.T) {
+	m := newTestManager(t, 1, Config{})
+	if err := m.RemoveVM("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := m.LookupVM("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup err = %v", err)
+	}
+}
+
+func TestPartitionedPlacement(t *testing.T) {
+	cfg := Config{PartitionByPriority: true, PriorityLevels: 4}
+	m := NewManager(cfg)
+	for i := 0; i < 4; i++ {
+		if _, err := m.AddServer(fmt.Sprintf("node-%d", i), serverCap(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Priority 0.9 -> level 3; 0.1 -> level 0.
+	_, sHigh, err := m.PlaceVM(deflatableVM("high", 4, 8192, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sHigh.Partition != 3 {
+		t.Errorf("high-priority VM on partition %d, want 3", sHigh.Partition)
+	}
+	_, sLow, err := m.PlaceVM(deflatableVM("low", 4, 8192, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLow.Partition != 0 {
+		t.Errorf("low-priority VM on partition %d, want 0", sLow.Partition)
+	}
+	// On-demand VMs land in the highest pool.
+	_, sOD, err := m.PlaceVM(onDemandVM("od", 4, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sOD.Partition != 3 {
+		t.Errorf("on-demand VM on partition %d, want 3", sOD.Partition)
+	}
+}
+
+func TestPartitionFullRejects(t *testing.T) {
+	cfg := Config{PartitionByPriority: true, PriorityLevels: 2}
+	m := NewManager(cfg)
+	m.AddServer("p0", serverCap(), 0)
+	m.AddServer("p1", serverCap(), 1)
+	// Fill partition 1 with on-demand-style load... (deflatable at floor).
+	if _, _, err := m.PlaceVM(onDemandVM("od-a", 48, 131072)); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0 is now full of od-a; a second on-demand VM cannot go to
+	// partition 1 even though it is empty.
+	_, _, err := m.PlaceVM(onDemandVM("od-b", 8, 8192))
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("want partition-full rejection, got %v", err)
+	}
+}
+
+func TestAvailabilityVector(t *testing.T) {
+	m := newTestManager(t, 1, Config{})
+	s := m.Servers()[0]
+	// Empty server: availability = capacity.
+	if got := Availability(s); got != serverCap() {
+		t.Errorf("empty availability = %v", got)
+	}
+	if _, _, err := m.PlaceVM(deflatableVM("a", 24, 65536, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	got := Availability(s)
+	// free = 24 cores; deflatable adds back most of a's 24 cores.
+	if got.Get(resources.CPU) < 24 {
+		t.Errorf("availability should include deflatable resources: %v", got)
+	}
+	if got.Get(resources.CPU) > 48 {
+		t.Errorf("availability cannot exceed capacity here: %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := newTestManager(t, 2, Config{})
+	m.PlaceVM(deflatableVM("a", 40, 65536, 0.5))
+	m.PlaceVM(deflatableVM("b", 40, 65536, 0.5))
+	m.PlaceVM(deflatableVM("c", 40, 65536, 0.5)) // forces deflation somewhere
+	st := m.Stats()
+	if st.Servers != 2 || st.VMs != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Committed.Get(resources.CPU) != 120 {
+		t.Errorf("committed = %v", st.Committed)
+	}
+	if st.Overcommit < 0.24 || st.Overcommit > 0.26 {
+		t.Errorf("overcommit = %v, want 0.25", st.Overcommit)
+	}
+	if !st.Allocated.FitsIn(st.Capacity) {
+		t.Errorf("allocated %v exceeds capacity %v", st.Allocated, st.Capacity)
+	}
+}
+
+func TestDeterministicPolicyIntegration(t *testing.T) {
+	m := newTestManager(t, 1, Config{Policy: policy.Deterministic{}, Mechanism: mechanism.Hybrid{}})
+	if _, _, err := m.PlaceVM(deflatableVM("low", 40, 65536, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PlaceVM(onDemandVM("od", 20, 32768)); err != nil {
+		t.Fatal(err)
+	}
+	low, _, _ := m.LookupVM("low")
+	// Deterministic: low deflated to priority*max = 10 cores.
+	if got := low.Allocation().Get(resources.CPU); got > 10.001 {
+		t.Errorf("deterministic deflation = %v, want 10", got)
+	}
+}
+
+// Invariant: however many VMs are placed and removed, no server is ever
+// allocated beyond its capacity.
+func TestChurnNeverOverAllocates(t *testing.T) {
+	m := newTestManager(t, 3, Config{Policy: policy.Priority{}})
+	placed := []string{}
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("vm-%d", i)
+		prio := []float64{0.25, 0.5, 0.75, 1.0}[i%4]
+		cfg := deflatableVM(name, float64(4+(i%5)*8), float64(8192+(i%4)*16384), prio)
+		if i%5 == 4 {
+			cfg = onDemandVM(name, float64(4+(i%3)*4), 16384)
+		}
+		if _, _, err := m.PlaceVM(cfg); err == nil {
+			placed = append(placed, name)
+		}
+		if i%3 == 2 && len(placed) > 0 {
+			if err := m.RemoveVM(placed[0]); err != nil {
+				t.Fatal(err)
+			}
+			placed = placed[1:]
+		}
+		for _, s := range m.Servers() {
+			if !s.Host.Allocated().FitsIn(s.Host.Capacity()) {
+				t.Fatalf("iteration %d: server %s over-allocated: %v > %v",
+					i, s.Host.Name(), s.Host.Allocated(), s.Host.Capacity())
+			}
+		}
+	}
+	if m.Stats().VMs != len(placed) {
+		t.Errorf("placement bookkeeping drifted: %d vs %d", m.Stats().VMs, len(placed))
+	}
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+
+	"vmdeflate/internal/notify"
+	"vmdeflate/internal/resources"
+)
+
+// The Figure 1 notification path: placing a VM that forces deflation
+// publishes Deflated events; departures publish Reinflated events.
+func TestManagerPublishesDeflationEvents(t *testing.T) {
+	var bus notify.Bus
+	var events []notify.Event
+	bus.Subscribe(func(ev notify.Event) { events = append(events, ev) })
+
+	m := NewManager(Config{Notify: &bus})
+	if _, err := m.AddServer("n0", serverCap(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PlaceVM(deflatableVM("low", 40, 65536, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("surplus placement should not notify: %v", events)
+	}
+	if _, _, err := m.PlaceVM(onDemandVM("od", 16, 32768)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("deflating placement should notify")
+	}
+	ev := events[0]
+	if ev.VM != "low" || ev.Server != "n0" || ev.Kind != notify.Deflated {
+		t.Errorf("event = %+v", ev)
+	}
+	if ev.DeflationFraction <= 0 {
+		t.Errorf("deflation fraction = %v", ev.DeflationFraction)
+	}
+	if ev.New.Get(resources.CPU) >= ev.Old.Get(resources.CPU) {
+		t.Errorf("allocation should shrink: %v -> %v", ev.Old, ev.New)
+	}
+
+	// Departure reinflates and notifies.
+	before := len(events)
+	if err := m.RemoveVM("od"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) <= before {
+		t.Fatal("reinflation should notify")
+	}
+	last := events[len(events)-1]
+	if last.Kind != notify.Reinflated {
+		t.Errorf("last event kind = %v", last.Kind)
+	}
+}
+
+// A deflation-aware load balancer can drive its weights straight from
+// the bus — the end-to-end wiring of Figure 1.
+func TestBusDrivesWeights(t *testing.T) {
+	var bus notify.Bus
+	weights := map[string]float64{}
+	bus.Subscribe(func(ev notify.Event) {
+		weights[ev.VM] = ev.New.Get(resources.CPU)
+	})
+	m := NewManager(Config{Notify: &bus})
+	m.AddServer("n0", serverCap(), 0)
+	m.PlaceVM(deflatableVM("web-1", 48, 98304, 0.5))
+	m.PlaceVM(onDemandVM("db", 24, 16384))
+	if w, ok := weights["web-1"]; !ok || w > 24.001 {
+		t.Errorf("weights = %v, want web-1 <= 24", weights)
+	}
+}

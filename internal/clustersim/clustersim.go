@@ -1,0 +1,530 @@
+// Package clustersim is the trace-driven discrete-event cluster
+// simulator of Section 7.1.2 (the paper's ~2,000-line Python framework),
+// re-implemented on top of the full substrate: VM records from an
+// Azure-like trace arrive and depart on their trace timestamps, are
+// placed by the cluster manager (cosine-fitness placement, Section 5.2),
+// deflated by the configured server-level policy and mechanism, and
+// reinflate as capacity frees. The simulator measures the three
+// cluster-level outcomes of Section 7.4:
+//
+//   - failure probability (Figure 20): for deflation policies, the
+//     probability that a reclamation attempt cannot free enough
+//     resources; for the preemption baseline, the probability that a
+//     low-priority VM is preempted;
+//   - throughput loss (Figure 21): demand above the deflated allocation
+//     integrated over time (the Figure 4 area), relative to total demand;
+//   - revenue from deflatable VMs (Figure 22) under the three pricing
+//     schemes of Section 5.2.2.
+//
+// Per the paper, interactive VMs are deflatable and batch/unknown VMs
+// are on-demand, which makes roughly half the VMs deflatable; priorities
+// come from the 95th-percentile CPU utilisation quantised to four
+// levels.
+package clustersim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vmdeflate/internal/cluster"
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/mechanism"
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/pricing"
+	"vmdeflate/internal/resources"
+	"vmdeflate/internal/trace"
+)
+
+// Mode selects the resource-reclamation strategy under test.
+type Mode int
+
+const (
+	// ModeDeflation reclaims resources with the configured policy.
+	ModeDeflation Mode = iota
+	// ModePreemption is the baseline: no deflation; low-priority VMs are
+	// killed to make room under pressure (today's transient servers).
+	ModePreemption
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Trace supplies VM arrivals, sizes, classes and utilisation.
+	Trace *trace.AzureTrace
+	// Mode selects deflation or the preemption baseline.
+	Mode Mode
+	// Policy and Mechanism configure deflation (ignored for preemption).
+	Policy    policy.Policy
+	Mechanism mechanism.Mechanism
+	// Partitioned enables priority-partitioned pools (Section 5.2.1).
+	Partitioned bool
+	// PriorityLevels quantises p95-derived priorities (4 in the paper).
+	PriorityLevels int
+	// Overcommit is the target cluster overcommitment fraction: the
+	// cluster is sized to BaselineServers/(1+Overcommit).
+	Overcommit float64
+	// BaselineServers overrides the no-overcommitment cluster size; when
+	// zero it is derived from the trace's peak committed demand.
+	BaselineServers int
+	// ServerCapacity is each server's size (48 CPUs / 128 GB in the
+	// paper).
+	ServerCapacity resources.Vector
+	// PricingSchemes to meter (all three when nil).
+	PricingSchemes []pricing.Scheme
+}
+
+// DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB RAM.
+func DefaultServerCapacity() resources.Vector {
+	return resources.CPUMem(48, 131072)
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Trace == nil || len(c.Trace.VMs) == 0 {
+		return fmt.Errorf("clustersim: empty trace")
+	}
+	if c.Policy == nil {
+		c.Policy = policy.Proportional{}
+	}
+	if c.Mechanism == nil {
+		c.Mechanism = mechanism.Transparent{}
+	}
+	if c.PriorityLevels <= 0 {
+		c.PriorityLevels = 4
+	}
+	if c.ServerCapacity.IsZero() {
+		c.ServerCapacity = DefaultServerCapacity()
+	}
+	if c.PricingSchemes == nil {
+		c.PricingSchemes = []pricing.Scheme{
+			pricing.Static{Discount: 0.2},
+			pricing.Priority{},
+			pricing.Allocation{Discount: 0.2},
+		}
+	}
+	if c.Overcommit < 0 {
+		return fmt.Errorf("clustersim: negative overcommit")
+	}
+	return nil
+}
+
+// Result summarises one run.
+type Result struct {
+	// Servers actually provisioned.
+	Servers int
+	// Arrivals is the number of VM start events processed.
+	Arrivals int
+	// Admitted counts VMs that were placed.
+	Admitted int
+	// Rejected counts admission failures (deflation mode) or rejected
+	// low-priority launches (preemption mode).
+	Rejected int
+	// ReclamationAttempts counts placements that required reclaiming
+	// resources (deflation) or preempting (preemption).
+	ReclamationAttempts int
+	// ReclamationFailures counts attempts that could not free enough.
+	ReclamationFailures int
+	// Preemptions counts killed low-priority VMs (preemption mode).
+	Preemptions int
+	// DeflatableAdmitted counts admitted low-priority VMs.
+	DeflatableAdmitted int
+	// FailureProbability is the Figure 20 metric (see package comment).
+	FailureProbability float64
+	// ThroughputLoss is the Figure 21 metric: lost demand / total demand
+	// across deflatable VMs.
+	ThroughputLoss float64
+	// Revenue maps pricing-scheme name to total revenue from deflatable
+	// VMs (on-demand-core-hours).
+	Revenue map[string]float64
+}
+
+// event is a trace arrival or departure.
+type event struct {
+	at      float64
+	arrival bool
+	vm      *trace.VMRecord
+}
+
+// BaselineServerCount returns the paper's "minimum cluster size capable
+// of running all VMs without any preemptions or admission-controlled
+// rejections": starting from the peak-aggregate-demand lower bound, the
+// count grows until a full-allocation bin-packing replay of the trace
+// admits every VM (fragmentation can push the answer above the
+// aggregate bound). It fails if any single VM exceeds a server.
+func BaselineServerCount(tr *trace.AzureTrace, serverCap resources.Vector) (int, error) {
+	evs := buildEvents(tr)
+	var cur, peak resources.Vector
+	for _, e := range evs {
+		size := vmSize(e.vm)
+		if e.arrival {
+			if !size.FitsIn(serverCap) {
+				return 0, fmt.Errorf("clustersim: VM %s (%v) exceeds server capacity %v",
+					e.vm.ID, size, serverCap)
+			}
+			cur = cur.Add(size)
+			peak = peak.Max(cur)
+		} else {
+			cur = cur.Sub(size)
+		}
+	}
+	lb := 1
+	for _, k := range resources.Kinds {
+		if serverCap.Get(k) <= 0 {
+			continue
+		}
+		need := int(math.Ceil(peak.Get(k) / serverCap.Get(k)))
+		if need > lb {
+			lb = need
+		}
+	}
+	// Fragmentation can exceed the aggregate bound, but not without
+	// limit; 4x is a generous safety margin that turns a logic error
+	// into a diagnosable failure instead of an unbounded search.
+	for n := lb; n <= 4*lb+4; n++ {
+		if fullAllocationFeasible(evs, n, serverCap) {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("clustersim: no feasible packing within %d servers", 4*lb+4)
+}
+
+// fullAllocationFeasible replays the trace at full allocations on n
+// servers with tightest-fit placement (minimise the chosen server's
+// leftover dominant share) and reports whether every VM fits. Tightest
+// fit keeps large servers whole so big VMs stay placeable — the right
+// objective for a feasibility bound, as opposed to the load-balancing
+// objective used for live deflation-aware placement.
+func fullAllocationFeasible(evs []event, n int, serverCap resources.Vector) bool {
+	free := make([]resources.Vector, n)
+	for i := range free {
+		free[i] = serverCap
+	}
+	where := make(map[string]int, len(evs)/2)
+	for _, e := range evs {
+		size := vmSize(e.vm)
+		if !e.arrival {
+			if s, ok := where[e.vm.ID]; ok {
+				free[s] = free[s].Add(size)
+				delete(where, e.vm.ID)
+			}
+			continue
+		}
+		best := tightestFit(free, size, serverCap)
+		if best < 0 {
+			return false
+		}
+		free[best] = free[best].Sub(size)
+		where[e.vm.ID] = best
+	}
+	return true
+}
+
+// tightestFit returns the index of the fitting server whose leftover
+// dominant share would be smallest, or -1 if none fits.
+func tightestFit(free []resources.Vector, size, serverCap resources.Vector) int {
+	best, bestLeft := -1, math.Inf(1)
+	for i := range free {
+		if !size.FitsIn(free[i]) {
+			continue
+		}
+		left := free[i].Sub(size).DominantShare(serverCap)
+		if left < bestLeft {
+			best, bestLeft = i, left
+		}
+	}
+	return best
+}
+
+func vmSize(vm *trace.VMRecord) resources.Vector {
+	return resources.CPUMem(float64(vm.Cores), vm.MemoryMB)
+}
+
+func buildEvents(tr *trace.AzureTrace) []event {
+	evs := make([]event, 0, 2*len(tr.VMs))
+	for _, vm := range tr.VMs {
+		evs = append(evs, event{at: vm.Start, arrival: true, vm: vm})
+		evs = append(evs, event{at: vm.End, arrival: false, vm: vm})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		// Departures before arrivals at the same instant free capacity
+		// for the newcomers.
+		return !evs[i].arrival && evs[j].arrival
+	})
+	return evs
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	base := cfg.BaselineServers
+	if base <= 0 {
+		var err error
+		base, err = BaselineServerCount(cfg.Trace, cfg.ServerCapacity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nServers := int(math.Ceil(float64(base) / (1 + cfg.Overcommit)))
+	if nServers < 1 {
+		nServers = 1
+	}
+
+	if cfg.Mode == ModePreemption {
+		return runPreemption(cfg, nServers)
+	}
+	return runDeflation(cfg, nServers, base)
+}
+
+// --- deflation mode ---
+
+type vmTracking struct {
+	rec    *trace.VMRecord
+	domain *hypervisor.Domain
+	meters map[string]*pricing.Meter
+	lastT  float64
+	demand float64 // integrated demand (core-seconds)
+	lost   float64 // integrated demand above allocation
+	prio   float64
+}
+
+func runDeflation(cfg Config, nServers, baseServers int) (*Result, error) {
+	mgrCfg := cluster.Config{
+		Policy:              cfg.Policy,
+		Mechanism:           cfg.Mechanism,
+		PartitionByPriority: cfg.Partitioned,
+		PriorityLevels:      cfg.PriorityLevels,
+	}
+	mgr := cluster.NewManager(mgrCfg)
+	partitions := partitionPlan(cfg, nServers)
+	for i := 0; i < nServers; i++ {
+		if _, err := mgr.AddServer(fmt.Sprintf("node-%03d", i), cfg.ServerCapacity, partitions[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Servers: nServers, Revenue: map[string]float64{}}
+	running := map[string]*vmTracking{}
+	var demandTotal, lostTotal float64
+	evs := buildEvents(cfg.Trace)
+
+	// Interleave 5-minute sampling with trace events.
+	nextSample := trace.SampleInterval
+	processSamples := func(until float64) {
+		for nextSample <= until {
+			for _, vt := range running {
+				sampleVM(vt, nextSample, cfg)
+			}
+			nextSample += trace.SampleInterval
+		}
+	}
+
+	for _, e := range evs {
+		processSamples(e.at)
+		if e.arrival {
+			res.Arrivals++
+			handleArrival(cfg, mgr, res, running, e)
+			continue
+		}
+		vt, ok := running[e.vm.ID]
+		if !ok {
+			continue // was rejected at arrival
+		}
+		finishVM(vt, e.at, res)
+		demandTotal += vt.demand
+		lostTotal += vt.lost
+		delete(running, e.vm.ID)
+		if err := mgr.RemoveVM(e.vm.ID); err != nil {
+			return nil, err
+		}
+	}
+	// Close any VMs whose end coincides with trace end.
+	for _, vt := range running {
+		finishVM(vt, cfg.Trace.Duration(), res)
+		demandTotal += vt.demand
+		lostTotal += vt.lost
+	}
+
+	res.ReclamationFailures = mgr.Rejections
+	if res.ReclamationAttempts > 0 {
+		res.FailureProbability = float64(res.ReclamationFailures) / float64(res.ReclamationAttempts)
+	}
+	if demandTotal > 0 {
+		res.ThroughputLoss = lostTotal / demandTotal
+	}
+	return res, nil
+}
+
+func handleArrival(cfg Config, mgr *cluster.Manager, res *Result, running map[string]*vmTracking, e event) {
+	deflatable := e.vm.Class == trace.Interactive
+	prio := policy.PriorityFromP95(e.vm.P95(), cfg.PriorityLevels)
+	dc := hypervisor.DomainConfig{
+		Name:       e.vm.ID,
+		Size:       vmSize(e.vm),
+		Deflatable: deflatable,
+		Priority:   prio,
+	}
+	if !deflatable {
+		dc.Priority = 0
+	}
+
+	// Count reclamation attempts: would this placement need deflation?
+	needsReclaim := true
+	for _, s := range mgr.Servers() {
+		if dc.Size.FitsIn(s.Host.Capacity().Sub(s.Host.Allocated())) {
+			needsReclaim = false
+			break
+		}
+	}
+	if needsReclaim {
+		res.ReclamationAttempts++
+	}
+
+	d, _, err := mgr.PlaceVM(dc)
+	if err != nil {
+		res.Rejected++
+		return
+	}
+	res.Admitted++
+	vt := &vmTracking{rec: e.vm, domain: d, lastT: e.at, prio: prio}
+	if deflatable {
+		res.DeflatableAdmitted++
+		vt.meters = map[string]*pricing.Meter{}
+		for _, s := range cfg.PricingSchemes {
+			m := &pricing.Meter{}
+			m.Observe(e.at/3600, s.Rate(dc.Size, prio, d.Allocation()))
+			vt.meters[s.Name()] = m
+		}
+	}
+	running[e.vm.ID] = vt
+}
+
+// sampleVM accumulates demand/loss and refreshes allocation-based
+// billing at one 5-minute boundary.
+func sampleVM(vt *vmTracking, at float64, cfg Config) {
+	if !vt.domain.Deflatable() {
+		return
+	}
+	util := vt.rec.UtilAt(at)
+	maxCores := vt.domain.MaxSize().Get(resources.CPU)
+	allocCores := vt.domain.Allocation().Get(resources.CPU)
+	demand := util / 100 * maxCores * trace.SampleInterval
+	vt.demand += demand
+	if over := util/100*maxCores - allocCores; over > 0 {
+		vt.lost += over * trace.SampleInterval
+	}
+	for name, m := range vt.meters {
+		var rate float64
+		switch name {
+		case "static":
+			rate = 0.2 * maxCores
+		case "priority":
+			rate = vt.prio * maxCores
+		case "allocation":
+			rate = 0.2 * allocCores
+		}
+		m.Observe(at/3600, rate)
+	}
+}
+
+func finishVM(vt *vmTracking, at float64, res *Result) {
+	for name, m := range vt.meters {
+		res.Revenue[name] += m.Close(at / 3600)
+	}
+}
+
+// partitionPlan assigns servers to priority pools proportionally to the
+// trace's committed demand per pool ("the size of the different pools
+// can be based on the typical workload mix", Section 5.2.1).
+func partitionPlan(cfg Config, nServers int) []int {
+	out := make([]int, nServers)
+	if !cfg.Partitioned {
+		return out // all zeros; ignored when partitioning is off
+	}
+	levels := cfg.PriorityLevels
+	// Size pools by *peak concurrent* demand per level, not total
+	// VM-hours: pools sized on averages run out of room at their own
+	// peaks and deflate even when the cluster as a whole has slack.
+	demand := make([]float64, levels)
+	current := make([]float64, levels)
+	levelOf := func(vm *trace.VMRecord) int {
+		lvl := levels - 1 // on-demand pool
+		if vm.Class == trace.Interactive {
+			p := policy.PriorityFromP95(vm.P95(), levels)
+			lvl = int(p*float64(levels)) - 1
+			if lvl < 0 {
+				lvl = 0
+			}
+			if lvl >= levels {
+				lvl = levels - 1
+			}
+		}
+		return lvl
+	}
+	for _, e := range buildEvents(cfg.Trace) {
+		lvl := levelOf(e.vm)
+		if e.arrival {
+			current[lvl] += float64(e.vm.Cores)
+			if current[lvl] > demand[lvl] {
+				demand[lvl] = current[lvl]
+			}
+		} else {
+			current[lvl] -= float64(e.vm.Cores)
+		}
+	}
+	var total float64
+	for _, d := range demand {
+		total += d
+	}
+	if total == 0 {
+		return out
+	}
+	// Largest-remainder allocation with at least one server per non-empty
+	// pool.
+	counts := make([]int, levels)
+	assigned := 0
+	for l := 0; l < levels; l++ {
+		counts[l] = int(float64(nServers) * demand[l] / total)
+		if demand[l] > 0 && counts[l] == 0 {
+			counts[l] = 1
+		}
+		assigned += counts[l]
+	}
+	for assigned > nServers {
+		// Trim from the largest pool.
+		maxL := 0
+		for l := 1; l < levels; l++ {
+			if counts[l] > counts[maxL] {
+				maxL = l
+			}
+		}
+		if counts[maxL] <= 1 {
+			break
+		}
+		counts[maxL]--
+		assigned--
+	}
+	for assigned < nServers {
+		// Grow the pool with the largest demand per server.
+		bestL, bestV := 0, -1.0
+		for l := 0; l < levels; l++ {
+			v := demand[l] / float64(counts[l]+1)
+			if v > bestV {
+				bestL, bestV = l, v
+			}
+		}
+		counts[bestL]++
+		assigned++
+	}
+	i := 0
+	for l := 0; l < levels; l++ {
+		for k := 0; k < counts[l] && i < nServers; k++ {
+			out[i] = l
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package clustersim
+
+import (
+	"sort"
+
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/resources"
+	"vmdeflate/internal/trace"
+)
+
+// pVM is one VM in the preemption baseline.
+type pVM struct {
+	rec    *trace.VMRecord
+	size   resources.Vector
+	lowPri bool
+	prio   float64
+	server int
+}
+
+// runPreemption simulates today's transient servers: VMs always get
+// their full allocation; when an on-demand VM arrives and no server has
+// room, low-priority VMs are preempted — killed — lowest priority first
+// until it fits. Low-priority arrivals that do not fit are rejected. The
+// Figure 20 baseline metric is the probability that an admitted
+// low-priority VM is preempted before its natural departure.
+func runPreemption(cfg Config, nServers int) (*Result, error) {
+	free := make([]resources.Vector, nServers)
+	for i := range free {
+		free[i] = cfg.ServerCapacity
+	}
+	running := map[string]*pVM{}
+	res := &Result{Servers: nServers, Revenue: map[string]float64{}}
+	var demandTotal, lostTotal float64
+
+	place := func(vm *pVM) bool {
+		// Conventional bin-packing: tightest fit, as used by
+		// non-deflatable cluster managers (Section 5.2).
+		best := tightestFit(free, vm.size, cfg.ServerCapacity)
+		if best < 0 {
+			return false
+		}
+		vm.server = best
+		free[best] = free[best].Sub(vm.size)
+		return true
+	}
+
+	// remainingDemand integrates a VM's CPU demand (core-seconds) from
+	// time t to its natural end: the demand a preemption destroys.
+	remainingDemand := func(rec *trace.VMRecord, t float64) float64 {
+		var d float64
+		for ts := t; ts < rec.End; ts += trace.SampleInterval {
+			d += rec.UtilAt(ts) / 100 * float64(rec.Cores) * trace.SampleInterval
+		}
+		return d
+	}
+
+	evict := func(need resources.Vector, server int, now float64) bool {
+		var victims []*pVM
+		for _, vm := range running {
+			if vm.lowPri && vm.server == server {
+				victims = append(victims, vm)
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			if victims[i].prio != victims[j].prio {
+				return victims[i].prio < victims[j].prio
+			}
+			return victims[i].rec.ID < victims[j].rec.ID
+		})
+		for _, v := range victims {
+			if need.FitsIn(free[server]) {
+				break
+			}
+			free[server] = free[server].Add(v.size)
+			delete(running, v.rec.ID)
+			res.Preemptions++
+			lostTotal += remainingDemand(v.rec, now)
+		}
+		return need.FitsIn(free[server])
+	}
+
+	// bestEvictionServer picks the server where free space plus
+	// evictable low-priority allocation best covers `need`.
+	bestEvictionServer := func(need resources.Vector) int {
+		best, bestFit := -1, -1.0
+		for i := range free {
+			avail := free[i]
+			for _, vm := range running {
+				if vm.lowPri && vm.server == i {
+					avail = avail.Add(vm.size)
+				}
+			}
+			if !need.FitsIn(avail) {
+				continue
+			}
+			fit := resources.CosineFitness(need, avail)
+			if fit > bestFit {
+				best, bestFit = i, fit
+			}
+		}
+		return best
+	}
+
+	evs := buildEvents(cfg.Trace)
+	for _, e := range evs {
+		if !e.arrival {
+			vm, ok := running[e.vm.ID]
+			if !ok {
+				continue // rejected or already preempted
+			}
+			free[vm.server] = free[vm.server].Add(vm.size)
+			delete(running, e.vm.ID)
+			continue
+		}
+		res.Arrivals++
+		vm := &pVM{
+			rec:    e.vm,
+			size:   vmSize(e.vm),
+			lowPri: e.vm.Class == trace.Interactive,
+			prio:   policy.PriorityFromP95(e.vm.P95(), cfg.PriorityLevels),
+		}
+		if vm.lowPri {
+			// Total low-priority demand, for the throughput-loss ratio.
+			demandTotal += remainingDemand(e.vm, e.vm.Start)
+		}
+		if place(vm) {
+			res.Admitted++
+			if vm.lowPri {
+				res.DeflatableAdmitted++
+			}
+			running[e.vm.ID] = vm
+			continue
+		}
+		if !vm.lowPri {
+			// On-demand pressure: reclaim by preemption.
+			res.ReclamationAttempts++
+			if s := bestEvictionServer(vm.size); s >= 0 && evict(vm.size, s, e.at) && place(vm) {
+				res.Admitted++
+				running[e.vm.ID] = vm
+				continue
+			}
+			res.ReclamationFailures++
+		}
+		res.Rejected++
+	}
+
+	// Figure 20 baseline metric: preemption probability for admitted
+	// low-priority VMs.
+	if res.DeflatableAdmitted > 0 {
+		res.FailureProbability = float64(res.Preemptions) / float64(res.DeflatableAdmitted)
+	}
+	if demandTotal > 0 {
+		res.ThroughputLoss = lostTotal / demandTotal
+	}
+	return res, nil
+}

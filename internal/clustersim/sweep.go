@@ -1,0 +1,106 @@
+package clustersim
+
+import (
+	"vmdeflate/internal/mechanism"
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/trace"
+)
+
+// SweepPoint is one overcommitment level's outcome for one strategy.
+type SweepPoint struct {
+	OvercommitPct      float64
+	FailureProbability float64
+	ThroughputLossPct  float64
+	Revenue            map[string]float64
+	Servers            int
+}
+
+// SweepResult holds a full overcommitment sweep for one strategy.
+type SweepResult struct {
+	Strategy string
+	Points   []SweepPoint
+}
+
+// Strategy names used by the Figure 20/21 sweeps.
+const (
+	StrategyProportional  = "proportional"
+	StrategyPriority      = "priority"
+	StrategyDeterministic = "deterministic"
+	StrategyPartitioned   = "priority+partitioned"
+	StrategyPreemption    = "preemption"
+)
+
+// strategyConfig builds the Config for one named strategy.
+func strategyConfig(tr *trace.AzureTrace, strategy string, baseline int, oc float64) Config {
+	cfg := Config{
+		Trace:           tr,
+		Mechanism:       mechanism.Transparent{},
+		Overcommit:      oc,
+		BaselineServers: baseline,
+	}
+	switch strategy {
+	case StrategyProportional:
+		cfg.Policy = policy.Proportional{}
+	case StrategyPriority:
+		cfg.Policy = policy.Priority{}
+	case StrategyDeterministic:
+		cfg.Policy = policy.Deterministic{}
+	case StrategyPartitioned:
+		cfg.Policy = policy.Priority{}
+		cfg.Partitioned = true
+	case StrategyPreemption:
+		cfg.Mode = ModePreemption
+	}
+	return cfg
+}
+
+// Sweep runs one strategy across the given overcommitment percentages
+// (Figure 20/21/22 x-axis, e.g. 0-70%). The baseline cluster size is
+// computed once from the trace so all strategies see identical clusters.
+func Sweep(tr *trace.AzureTrace, strategy string, overcommitPcts []float64) (*SweepResult, error) {
+	baseline, err := BaselineServerCount(tr, DefaultServerCapacity())
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Strategy: strategy}
+	for _, pct := range overcommitPcts {
+		cfg := strategyConfig(tr, strategy, baseline, pct/100)
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, SweepPoint{
+			OvercommitPct:      pct,
+			FailureProbability: res.FailureProbability,
+			ThroughputLossPct:  res.ThroughputLoss * 100,
+			Revenue:            res.Revenue,
+			Servers:            res.Servers,
+		})
+	}
+	return out, nil
+}
+
+// RevenueIncrease converts a sweep's revenue series into Figure 22's
+// "increase in revenue %": revenue from deflatable VMs *per server*
+// relative to the same scheme at the sweep's first point (nominally 0%
+// overcommitment). Per-server normalisation is the paper's framing —
+// "priority-based pricing increases the revenue per server by 2x" —
+// since overcommitting means serving the same low-priority demand on
+// fewer machines.
+func RevenueIncrease(sr *SweepResult, scheme string) []float64 {
+	if len(sr.Points) == 0 {
+		return nil
+	}
+	first := sr.Points[0]
+	if first.Servers == 0 {
+		return make([]float64, len(sr.Points))
+	}
+	base := first.Revenue[scheme] / float64(first.Servers)
+	out := make([]float64, len(sr.Points))
+	for i, p := range sr.Points {
+		if base > 0 && p.Servers > 0 {
+			out[i] = (p.Revenue[scheme]/float64(p.Servers)/base - 1) * 100
+		}
+	}
+	return out
+}

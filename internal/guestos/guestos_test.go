@@ -1,0 +1,277 @@
+package guestos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *GuestOS {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewDefaults(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 4, MemoryMB: 8192})
+	if g.OnlineVCPUs() != 4 {
+		t.Errorf("OnlineVCPUs = %d", g.OnlineVCPUs())
+	}
+	if g.PluggedMemoryMB() != 8192 {
+		t.Errorf("PluggedMemoryMB = %v", g.PluggedMemoryMB())
+	}
+	if g.Config().MemBlockMB != 128 || g.Config().MinVCPUs != 1 || g.Config().ReserveMB != 256 {
+		t.Errorf("defaults not applied: %+v", g.Config())
+	}
+	if g.RSSMB() != 256 {
+		t.Errorf("boot RSS = %v, want kernel reserve", g.RSSMB())
+	}
+}
+
+func TestNewInvalid(t *testing.T) {
+	if _, err := New(Config{VCPUs: 0, MemoryMB: 8192}); err == nil {
+		t.Error("0 vCPUs should fail")
+	}
+	if _, err := New(Config{VCPUs: 1, MemoryMB: 100}); err == nil {
+		t.Error("memory below reserve should fail")
+	}
+}
+
+func TestSetWorkload(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 4, MemoryMB: 8192})
+	if err := g.SetWorkload(4000, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if g.RSSMB() != 4256 { // workload + kernel reserve
+		t.Errorf("RSS = %v", g.RSSMB())
+	}
+	if g.PageCacheMB() != 2000 {
+		t.Errorf("cache = %v", g.PageCacheMB())
+	}
+	if got := g.FreeMB(); math.Abs(got-(8192-4256-2000)) > 1e-9 {
+		t.Errorf("free = %v", got)
+	}
+	if err := g.SetWorkload(-1, 0); err == nil {
+		t.Error("negative workload should fail")
+	}
+}
+
+func TestSetWorkloadOversized(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 1, MemoryMB: 1024})
+	if err := g.SetWorkload(2000, 500); err != nil {
+		t.Fatal(err)
+	}
+	if g.RSSMB() != 1024 {
+		t.Errorf("RSS should be capped at plugged: %v", g.RSSMB())
+	}
+	if g.SwappedMB() != 2256-1024 {
+		t.Errorf("swapped = %v", g.SwappedMB())
+	}
+	if g.PageCacheMB() != 0 {
+		t.Errorf("no room for cache: %v", g.PageCacheMB())
+	}
+}
+
+func TestUnplugVCPUs(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 8, MemoryMB: 8192})
+	n, err := g.UnplugVCPUs(3)
+	if err != nil || n != 3 || g.OnlineVCPUs() != 5 {
+		t.Errorf("UnplugVCPUs(3) = %d, %v; online=%d", n, err, g.OnlineVCPUs())
+	}
+	// Partial success: only 4 more can come out (MinVCPUs=1).
+	n, err = g.UnplugVCPUs(100)
+	if err != nil || n != 4 || g.OnlineVCPUs() != 1 {
+		t.Errorf("UnplugVCPUs(100) = %d, %v; online=%d", n, err, g.OnlineVCPUs())
+	}
+	n, err = g.UnplugVCPUs(1)
+	if err != nil || n != 0 {
+		t.Errorf("unplug at floor = %d, %v", n, err)
+	}
+	if _, err := g.UnplugVCPUs(-1); err == nil {
+		t.Error("negative should fail")
+	}
+}
+
+func TestPlugVCPUs(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 8, MemoryMB: 8192})
+	g.UnplugVCPUs(5)
+	n, err := g.PlugVCPUs(2)
+	if err != nil || n != 2 || g.OnlineVCPUs() != 5 {
+		t.Errorf("PlugVCPUs = %d, %v; online=%d", n, err, g.OnlineVCPUs())
+	}
+	n, _ = g.PlugVCPUs(100)
+	if n != 3 || g.OnlineVCPUs() != 8 {
+		t.Errorf("overplug: added %d, online=%d", n, g.OnlineVCPUs())
+	}
+	if _, err := g.PlugVCPUs(-2); err == nil {
+		t.Error("negative should fail")
+	}
+}
+
+func TestUnplugMemorySafety(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 4, MemoryMB: 8192})
+	g.SetWorkload(4000, 1000) // RSS 4256, cache 1000, free 2936
+	safe := g.SafeUnplugMemoryMB()
+	// safe = floor((8192-4256)/128)*128 = floor(3936/128)*128 = 30*128 = 3840
+	if safe != 3840 {
+		t.Errorf("SafeUnplugMemoryMB = %v, want 3840", safe)
+	}
+	// Request far more than safe: partial success at the safety threshold.
+	got, err := g.UnplugMemory(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3840 {
+		t.Errorf("unplugged %v, want 3840", got)
+	}
+	if g.PluggedMemoryMB() != 8192-3840 {
+		t.Errorf("plugged = %v", g.PluggedMemoryMB())
+	}
+	// RSS untouched; cache shrunk to fit.
+	if g.RSSMB() != 4256 {
+		t.Errorf("RSS changed: %v", g.RSSMB())
+	}
+	if g.PageCacheMB() > g.PluggedMemoryMB()-g.RSSMB()+1e-9 {
+		t.Errorf("cache %v exceeds available", g.PageCacheMB())
+	}
+	if g.SwappedMB() != 0 {
+		t.Error("safe unplug must not swap")
+	}
+}
+
+func TestUnplugMemoryBlockGranularity(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 4, MemoryMB: 8192})
+	got, err := g.UnplugMemory(300) // rounds down to 256
+	if err != nil || got != 256 {
+		t.Errorf("UnplugMemory(300) = %v, %v; want 256", got, err)
+	}
+	got, _ = g.UnplugMemory(100) // below one block
+	if got != 0 {
+		t.Errorf("sub-block unplug = %v, want 0", got)
+	}
+	if _, err := g.UnplugMemory(-5); err == nil {
+		t.Error("negative should fail")
+	}
+}
+
+func TestPlugMemory(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 4, MemoryMB: 8192})
+	g.UnplugMemory(4096)
+	got, err := g.PlugMemory(1000) // rounds down to 896
+	if err != nil || got != 896 {
+		t.Errorf("PlugMemory(1000) = %v, %v", got, err)
+	}
+	got, _ = g.PlugMemory(1 << 20) // capped at configured max
+	if g.PluggedMemoryMB() != 8192 {
+		t.Errorf("plugged = %v, want back to 8192 (added %v)", g.PluggedMemoryMB(), got)
+	}
+	if _, err := g.PlugMemory(-5); err == nil {
+		t.Error("negative should fail")
+	}
+}
+
+func TestPlugMemorySwapsIn(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 1, MemoryMB: 2048})
+	g.SetWorkload(3000, 0) // oversubscribed: swaps
+	if g.SwappedMB() == 0 {
+		t.Fatal("expected swap")
+	}
+	// Memory can't be plugged beyond config, so enlarge via a new guest:
+	// instead verify swap-in on replug after an unplug cannot occur (all
+	// memory is resident-occupied), then shrink workload and replug.
+	g2 := mustNew(t, Config{VCPUs: 1, MemoryMB: 8192})
+	g2.SetWorkload(1000, 0)
+	g2.UnplugMemory(8192) // leaves RSS intact
+	pluggedAfter := g2.PluggedMemoryMB()
+	g2.SetWorkload(pluggedAfter+500, 0) // force 500+ MB swapped
+	swapped := g2.SwappedMB()
+	if swapped <= 0 {
+		t.Fatal("setup: expected swap")
+	}
+	g2.PlugMemory(1024)
+	if g2.SwappedMB() >= swapped {
+		t.Errorf("plugging memory should swap in: before %v after %v", swapped, g2.SwappedMB())
+	}
+}
+
+func TestSwapPressure(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 4, MemoryMB: 8192})
+	g.SetWorkload(4000, 1000) // RSS 4256
+	if got := g.SwapPressure(8192); got != 0 {
+		t.Errorf("no pressure expected: %v", got)
+	}
+	if got := g.SwapPressure(4256); got != 0 {
+		t.Errorf("limit at RSS: %v", got)
+	}
+	got := g.SwapPressure(2128)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("half RSS resident: pressure = %v, want 0.5", got)
+	}
+	if got := g.SwapPressure(-10); got != 1 {
+		t.Errorf("pressure capped at 1: %v", got)
+	}
+}
+
+func TestCacheLoss(t *testing.T) {
+	g := mustNew(t, Config{VCPUs: 4, MemoryMB: 8192})
+	g.SetWorkload(4000, 1000) // RSS 4256, cache 1000
+	if got := g.CacheLoss(8192); got != 0 {
+		t.Errorf("no loss expected: %v", got)
+	}
+	if got := g.CacheLoss(4256 + 500); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("half cache lost: %v", got)
+	}
+	if got := g.CacheLoss(1000); got != 1 {
+		t.Errorf("all cache lost: %v", got)
+	}
+	g.SetWorkload(1000, 0)
+	if got := g.CacheLoss(500); got != 0 {
+		t.Errorf("no cache to lose: %v", got)
+	}
+}
+
+// Property: unplug/plug cycles keep invariants: plugged within
+// [0, config], online vCPUs within [min, config], RSS never exceeds
+// plugged, and safe unplug never induces swap.
+func TestQuickHotplugInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		g, err := New(Config{VCPUs: 16, MemoryMB: 16384})
+		if err != nil {
+			return false
+		}
+		g.SetWorkload(3000, 2000)
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				g.UnplugVCPUs(int(op>>4) + 1)
+			case 1:
+				g.PlugVCPUs(int(op>>4) + 1)
+			case 2:
+				g.UnplugMemory(float64(op) * 77)
+			case 3:
+				g.PlugMemory(float64(op) * 77)
+			case 4:
+				g.SetWorkload(float64(op)*50, float64(op>>2)*30)
+			}
+			if g.OnlineVCPUs() < 1 || g.OnlineVCPUs() > 16 {
+				return false
+			}
+			if g.PluggedMemoryMB() < 0 || g.PluggedMemoryMB() > 16384 {
+				return false
+			}
+			if g.RSSMB() > g.PluggedMemoryMB()+1e-9 {
+				return false
+			}
+			if g.RSSMB()+g.PageCacheMB() > g.PluggedMemoryMB()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

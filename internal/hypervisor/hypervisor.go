@@ -1,0 +1,474 @@
+// Package hypervisor simulates the KVM/libvirt substrate the paper's
+// prototype is built on (Section 6): domains (VMs) with lifecycle
+// management, vCPU-to-pCPU multiplexing through cgroup CPU bandwidth
+// control, dynamic memory limits, disk and network throttles, and
+// QEMU-agent-style CPU/memory hotplug that is forwarded to the guest OS.
+//
+// The exported API mirrors the slice of libvirt the paper uses:
+// define/start/shutdown/undefine, SetCPUShares / SetMemoryLimit /
+// SetDiskLimit / SetNetLimit for transparent deflation, and
+// HotplugVCPUs / HotplugMemory for explicit deflation. A Domain's
+// Effective() vector — the resources the applications inside actually
+// get — is the single point of truth consumed by the performance models.
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"vmdeflate/internal/cgroups"
+	"vmdeflate/internal/guestos"
+	"vmdeflate/internal/resources"
+)
+
+// Errors returned by the hypervisor.
+var (
+	ErrExists   = errors.New("hypervisor: domain already exists")
+	ErrNotFound = errors.New("hypervisor: domain not found")
+	ErrState    = errors.New("hypervisor: invalid domain state")
+	ErrInvalid  = errors.New("hypervisor: invalid configuration")
+)
+
+// DomainState is the lifecycle state of a domain.
+type DomainState int
+
+const (
+	// Defined means the domain exists but is not running.
+	Defined DomainState = iota
+	// Running means the domain is executing.
+	Running
+	// Shutoff means the domain was stopped but remains defined.
+	Shutoff
+)
+
+// String names the state like `virsh list` would.
+func (s DomainState) String() string {
+	switch s {
+	case Defined:
+		return "defined"
+	case Running:
+		return "running"
+	case Shutoff:
+		return "shut off"
+	default:
+		return fmt.Sprintf("DomainState(%d)", int(s))
+	}
+}
+
+// HostConfig describes a physical server.
+type HostConfig struct {
+	// Name identifies the host.
+	Name string
+	// Capacity is the host's physical resources.
+	Capacity resources.Vector
+}
+
+// DomainConfig describes a VM to be defined.
+type DomainConfig struct {
+	// Name identifies the domain on its host.
+	Name string
+	// Size is the nominal (undeflated) allocation M_i.
+	Size resources.Vector
+	// Deflatable marks low-priority VMs whose resources may be reclaimed.
+	Deflatable bool
+	// Priority pi in (0,1] — higher priority means lower deflation
+	// tolerance (Section 5.1.2). Ignored for non-deflatable VMs.
+	Priority float64
+	// MinAllocation m_i is an optional QoS floor per Section 5.1.1
+	// equation (2). Zero means no floor.
+	MinAllocation resources.Vector
+}
+
+func (c *DomainConfig) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: empty domain name", ErrInvalid)
+	}
+	if c.Size.Get(resources.CPU) < 1 || c.Size.Get(resources.Memory) <= 0 {
+		return fmt.Errorf("%w: domain %s needs at least 1 CPU and some memory", ErrInvalid, c.Name)
+	}
+	if err := c.Size.CheckNonNegative(); err != nil {
+		return err
+	}
+	if err := c.MinAllocation.CheckNonNegative(); err != nil {
+		return err
+	}
+	if !c.MinAllocation.FitsIn(c.Size) {
+		return fmt.Errorf("%w: domain %s min allocation exceeds size", ErrInvalid, c.Name)
+	}
+	if c.Deflatable && (c.Priority < 0 || c.Priority > 1) {
+		return fmt.Errorf("%w: domain %s priority %g outside (0,1]", ErrInvalid, c.Name, c.Priority)
+	}
+	return nil
+}
+
+// Host is one simulated physical server running a KVM hypervisor.
+type Host struct {
+	cfg     HostConfig
+	cgroups *cgroups.Hierarchy
+	mu      sync.Mutex
+	domains map[string]*Domain
+}
+
+// NewHost boots a hypervisor on a server with the given capacity.
+func NewHost(cfg HostConfig) (*Host, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("%w: empty host name", ErrInvalid)
+	}
+	if err := cfg.Capacity.CheckNonNegative(); err != nil {
+		return nil, err
+	}
+	if cfg.Capacity.IsZero() {
+		return nil, fmt.Errorf("%w: host %s has no capacity", ErrInvalid, cfg.Name)
+	}
+	return &Host{
+		cfg:     cfg,
+		cgroups: cgroups.NewHierarchy(),
+		domains: make(map[string]*Domain),
+	}, nil
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.cfg.Name }
+
+// Capacity returns the host's physical resources.
+func (h *Host) Capacity() resources.Vector { return h.cfg.Capacity }
+
+// Define creates a domain. Defining does not reserve physical resources:
+// like a real IaaS hypervisor, the host permits overcommitment, which is
+// exactly what deflation exists to manage.
+func (h *Host) Define(cfg DomainConfig) (*Domain, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.domains[cfg.Name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, cfg.Name)
+	}
+	cg, err := h.cgroups.Create("machine/" + cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	guest, err := guestos.New(guestos.Config{
+		VCPUs:    int(math.Round(cfg.Size.Get(resources.CPU))),
+		MemoryMB: cfg.Size.Get(resources.Memory),
+	})
+	if err != nil {
+		h.cgroups.Remove(cg.Name())
+		return nil, err
+	}
+	d := &Domain{
+		host:  h,
+		cfg:   cfg,
+		state: Defined,
+		guest: guest,
+		cg:    cg,
+	}
+	h.domains[cfg.Name] = d
+	return d, nil
+}
+
+// Lookup finds a domain by name.
+func (h *Host) Lookup(name string) (*Domain, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.domains[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return d, nil
+}
+
+// Domains lists domains sorted by name.
+func (h *Host) Domains() []*Domain {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Domain, 0, len(h.domains))
+	for _, d := range h.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Name < out[j].cfg.Name })
+	return out
+}
+
+// Undefine removes a stopped domain from the host.
+func (h *Host) Undefine(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.domains[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	d.mu.Lock()
+	st := d.state
+	d.mu.Unlock()
+	if st == Running {
+		return fmt.Errorf("%w: cannot undefine running domain %s", ErrState, name)
+	}
+	h.cgroups.Remove(d.cg.Name())
+	delete(h.domains, name)
+	return nil
+}
+
+// Committed returns the sum of the nominal sizes of all defined domains:
+// the numerator of the cluster overcommitment ratio (Section 1).
+func (h *Host) Committed() resources.Vector {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var sum resources.Vector
+	for _, d := range h.domains {
+		sum = sum.Add(d.cfg.Size)
+	}
+	return sum
+}
+
+// Allocated returns the sum of the current (possibly deflated) allocations
+// of running domains: physical resources actually promised right now.
+func (h *Host) Allocated() resources.Vector {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var sum resources.Vector
+	for _, d := range h.domains {
+		if d.State() == Running {
+			sum = sum.Add(d.Allocation())
+		}
+	}
+	return sum
+}
+
+// Available returns Capacity - Allocated, clamped at zero.
+func (h *Host) Available() resources.Vector {
+	return h.cfg.Capacity.Sub(h.Allocated()).ClampNonNegative()
+}
+
+// Overcommit returns Committed/Capacity - 1 as the dominant-share
+// overcommitment fraction (0 = fully packed, 0.5 = 50% overcommitted).
+func (h *Host) Overcommit() float64 {
+	oc := h.Committed().DominantShare(h.cfg.Capacity)
+	if oc < 1 {
+		return 0
+	}
+	return oc - 1
+}
+
+// Domain is one VM resident on a Host.
+type Domain struct {
+	host *Host
+	cfg  DomainConfig
+
+	mu    sync.Mutex
+	state DomainState
+	guest *guestos.GuestOS
+	cg    *cgroups.Group
+
+	// deflatedBy records the most recent mechanism label ("transparent",
+	// "explicit", "hybrid") for observability.
+	deflatedBy string
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.cfg.Name }
+
+// Config returns the domain's configuration.
+func (d *Domain) Config() DomainConfig { return d.cfg }
+
+// Host returns the host the domain resides on.
+func (d *Domain) Host() *Host { return d.host }
+
+// Guest exposes the simulated guest OS (used by mechanisms and by the
+// application models to install memory footprints).
+func (d *Domain) Guest() *guestos.GuestOS { return d.guest }
+
+// Cgroup exposes the domain's control group.
+func (d *Domain) Cgroup() *cgroups.Group { return d.cg }
+
+// State returns the domain's lifecycle state.
+func (d *Domain) State() DomainState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// Start transitions Defined/Shutoff -> Running.
+func (d *Domain) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state == Running {
+		return fmt.Errorf("%w: %s already running", ErrState, d.cfg.Name)
+	}
+	d.state = Running
+	return nil
+}
+
+// Shutdown transitions Running -> Shutoff.
+func (d *Domain) Shutdown() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
+	}
+	d.state = Shutoff
+	return nil
+}
+
+// MaxSize returns the nominal undeflated allocation M_i.
+func (d *Domain) MaxSize() resources.Vector { return d.cfg.Size }
+
+// MinAllocation returns the QoS floor m_i (zero vector if none).
+func (d *Domain) MinAllocation() resources.Vector { return d.cfg.MinAllocation }
+
+// Deflatable reports whether the domain may be deflated.
+func (d *Domain) Deflatable() bool { return d.cfg.Deflatable }
+
+// Priority returns pi (0 for non-deflatable domains).
+func (d *Domain) Priority() float64 { return d.cfg.Priority }
+
+// Allocation returns the domain's current allocation: the nominal size
+// capped by both explicit hotplug state and transparent cgroup limits.
+// This is the vector the cluster policies account against.
+func (d *Domain) Allocation() resources.Vector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocationLocked()
+}
+
+func (d *Domain) allocationLocked() resources.Vector {
+	plugged := d.cfg.Size.
+		With(resources.CPU, float64(d.guest.OnlineVCPUs())).
+		With(resources.Memory, d.guest.PluggedMemoryMB())
+	return d.cg.Effective(plugged)
+}
+
+// Effective is an alias of Allocation emphasising that this is what the
+// guest's applications can actually consume.
+func (d *Domain) Effective() resources.Vector { return d.Allocation() }
+
+// DeflationFraction returns how deflated the domain currently is,
+// averaged over the dimensions of its nominal size.
+func (d *Domain) DeflationFraction() float64 {
+	return d.Allocation().DeflationFraction(d.cfg.Size)
+}
+
+// --- Transparent deflation knobs (cgroup-backed, Section 4.2) ---
+
+// SetCPUShares caps the domain's CPU consumption at cores physical cores
+// by adjusting its cgroup CPU bandwidth. The guest still sees all its
+// vCPUs; they just run slower.
+func (d *Domain) SetCPUShares(cores float64) error {
+	return d.cg.SetLimit(resources.CPU, cores)
+}
+
+// SetMemoryLimit caps the domain's physical memory at mb via the memory
+// cgroup (mem.limit_in_bytes). If the limit is below the guest's resident
+// set, the hypervisor swaps: the guest is unaware and performance
+// suffers (see SwapPressure).
+func (d *Domain) SetMemoryLimit(mb float64) error {
+	return d.cg.SetLimit(resources.Memory, mb)
+}
+
+// SetDiskLimit throttles disk bandwidth (blkio cgroup).
+func (d *Domain) SetDiskLimit(mbps float64) error {
+	return d.cg.SetLimit(resources.DiskBW, mbps)
+}
+
+// SetNetLimit throttles network bandwidth.
+func (d *Domain) SetNetLimit(mbps float64) error {
+	return d.cg.SetLimit(resources.NetBW, mbps)
+}
+
+// ClearTransparentLimits removes all cgroup caps (full reinflation of the
+// transparent dimension).
+func (d *Domain) ClearTransparentLimits() {
+	for _, k := range resources.Kinds {
+		d.cg.ClearLimit(k)
+	}
+}
+
+// --- Explicit deflation knobs (agent-based hotplug, Section 4.3) ---
+
+// HotUnplugVCPUs asks the guest to offline n vCPUs. Partial success is
+// normal; the returned count is what the guest actually released.
+func (d *Domain) HotUnplugVCPUs(n int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
+	}
+	return d.guest.UnplugVCPUs(n)
+}
+
+// HotPlugVCPUs asks the guest to online n vCPUs (bounded by the domain's
+// configured vCPU count).
+func (d *Domain) HotPlugVCPUs(n int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
+	}
+	return d.guest.PlugVCPUs(n)
+}
+
+// HotUnplugMemory asks the guest to release up to mb of memory. The guest
+// enforces its safety threshold (never below RSS) and block granularity;
+// the returned amount is what was actually unplugged.
+func (d *Domain) HotUnplugMemory(mb float64) (float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
+	}
+	return d.guest.UnplugMemory(mb)
+}
+
+// HotPlugMemory returns memory to the guest (bounded by the domain's
+// configured size).
+func (d *Domain) HotPlugMemory(mb float64) (float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
+	}
+	return d.guest.PlugMemory(mb)
+}
+
+// --- Performance-relevant introspection ---
+
+// SwapPressure returns the fraction of the guest's resident set that the
+// current *transparent* memory limit pushes out to hypervisor swap. This
+// is the penalty transparent deflation pays that explicit deflation
+// avoids (Section 4.4, Figure 14).
+func (d *Domain) SwapPressure() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	limit, ok := d.cg.Limit(resources.Memory)
+	if !ok {
+		return 0
+	}
+	return d.guest.SwapPressure(limit)
+}
+
+// CacheLoss returns the fraction of guest page cache sacrificed to the
+// current effective memory allocation.
+func (d *Domain) CacheLoss() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	eff := d.allocationLocked()
+	return d.guest.CacheLoss(eff.Get(resources.Memory))
+}
+
+// SetDeflatedBy records which mechanism last acted on the domain.
+func (d *Domain) SetDeflatedBy(mechanism string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.deflatedBy = mechanism
+}
+
+// DeflatedBy returns the mechanism label recorded by SetDeflatedBy.
+func (d *Domain) DeflatedBy() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deflatedBy
+}

@@ -1,0 +1,318 @@
+package hypervisor
+
+import (
+	"errors"
+	"testing"
+
+	"vmdeflate/internal/resources"
+)
+
+func testHost(t *testing.T) *Host {
+	t.Helper()
+	h, err := NewHost(HostConfig{
+		Name:     "node-0",
+		Capacity: resources.New(48, 131072, 1000, 10000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func defineRunning(t *testing.T, h *Host, name string, cores, memMB float64) *Domain {
+	t.Helper()
+	d, err := h.Define(DomainConfig{
+		Name:       name,
+		Size:       resources.New(cores, memMB, 100, 1000),
+		Deflatable: true,
+		Priority:   0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewHostValidation(t *testing.T) {
+	if _, err := NewHost(HostConfig{Name: "", Capacity: resources.New(1, 1, 1, 1)}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewHost(HostConfig{Name: "h"}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := NewHost(HostConfig{Name: "h", Capacity: resources.New(-1, 1, 1, 1)}); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	h := testHost(t)
+	cases := []DomainConfig{
+		{Name: "", Size: resources.New(1, 1024, 0, 0)},
+		{Name: "v", Size: resources.New(0, 1024, 0, 0)},
+		{Name: "v", Size: resources.New(1, 0, 0, 0)},
+		{Name: "v", Size: resources.New(1, 1024, -1, 0)},
+		{Name: "v", Size: resources.New(1, 1024, 0, 0), Deflatable: true, Priority: 2},
+		{Name: "v", Size: resources.New(1, 1024, 0, 0), MinAllocation: resources.New(2, 0, 0, 0)},
+	}
+	for i, cfg := range cases {
+		if _, err := h.Define(cfg); err == nil {
+			t.Errorf("case %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	h := testHost(t)
+	d, err := h.Define(DomainConfig{Name: "vm-1", Size: resources.New(4, 8192, 100, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Defined {
+		t.Errorf("state = %v", d.State())
+	}
+	if _, err := h.Define(DomainConfig{Name: "vm-1", Size: resources.New(1, 1024, 0, 0)}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate define = %v", err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Running {
+		t.Errorf("state = %v", d.State())
+	}
+	if err := d.Start(); !errors.Is(err, ErrState) {
+		t.Errorf("double start = %v", err)
+	}
+	if err := h.Undefine("vm-1"); !errors.Is(err, ErrState) {
+		t.Errorf("undefine running = %v", err)
+	}
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Shutoff {
+		t.Errorf("state = %v", d.State())
+	}
+	if err := d.Shutdown(); !errors.Is(err, ErrState) {
+		t.Errorf("double shutdown = %v", err)
+	}
+	if err := h.Undefine("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Lookup("vm-1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup after undefine = %v", err)
+	}
+	if err := h.Undefine("vm-1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double undefine = %v", err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Defined.String() != "defined" || Running.String() != "running" || Shutoff.String() != "shut off" {
+		t.Error("state names wrong")
+	}
+}
+
+func TestDomainsSorted(t *testing.T) {
+	h := testHost(t)
+	for _, n := range []string{"c", "a", "b"} {
+		if _, err := h.Define(DomainConfig{Name: n, Size: resources.New(1, 1024, 0, 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := h.Domains()
+	if len(ds) != 3 || ds[0].Name() != "a" || ds[1].Name() != "b" || ds[2].Name() != "c" {
+		t.Errorf("Domains order wrong: %v", ds)
+	}
+}
+
+func TestAccountingAndOvercommit(t *testing.T) {
+	h := testHost(t)
+	// Capacity 48 cores. Define 40+20 cores = 60 committed -> 25% overcommit.
+	a := defineRunning(t, h, "a", 40, 65536)
+	_ = a
+	defineRunning(t, h, "b", 20, 32768)
+	c := h.Committed()
+	if c.Get(resources.CPU) != 60 {
+		t.Errorf("committed CPU = %v", c.Get(resources.CPU))
+	}
+	if oc := h.Overcommit(); oc < 0.249 || oc > 0.251 {
+		t.Errorf("overcommit = %v, want 0.25", oc)
+	}
+	alloc := h.Allocated()
+	if alloc.Get(resources.CPU) != 60 {
+		t.Errorf("allocated CPU = %v", alloc.Get(resources.CPU))
+	}
+	// Available clamps at zero.
+	if h.Available().Get(resources.CPU) != 0 {
+		t.Errorf("available CPU = %v", h.Available().Get(resources.CPU))
+	}
+}
+
+func TestOvercommitUnderpacked(t *testing.T) {
+	h := testHost(t)
+	defineRunning(t, h, "a", 10, 8192)
+	if oc := h.Overcommit(); oc != 0 {
+		t.Errorf("underpacked overcommit = %v, want 0", oc)
+	}
+}
+
+func TestTransparentDeflation(t *testing.T) {
+	h := testHost(t)
+	d := defineRunning(t, h, "vm", 8, 16384)
+	if err := d.SetCPUShares(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMemoryLimit(8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetDiskLimit(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetNetLimit(500); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Effective()
+	want := resources.New(4, 8192, 50, 500)
+	if got != want {
+		t.Errorf("effective = %v, want %v", got, want)
+	}
+	// Guest still sees all 8 vCPUs — deflation is transparent.
+	if d.Guest().OnlineVCPUs() != 8 {
+		t.Errorf("guest sees %d vCPUs, want 8", d.Guest().OnlineVCPUs())
+	}
+	if f := d.DeflationFraction(); f < 0.49 || f > 0.51 {
+		t.Errorf("deflation fraction = %v, want 0.5", f)
+	}
+	d.ClearTransparentLimits()
+	if d.Effective() != d.MaxSize() {
+		t.Errorf("after clear, effective = %v", d.Effective())
+	}
+}
+
+func TestExplicitDeflation(t *testing.T) {
+	h := testHost(t)
+	d := defineRunning(t, h, "vm", 8, 16384)
+	d.Guest().SetWorkload(4000, 2000)
+
+	n, err := d.HotUnplugVCPUs(3)
+	if err != nil || n != 3 {
+		t.Fatalf("HotUnplugVCPUs = %d, %v", n, err)
+	}
+	if got := d.Effective().Get(resources.CPU); got != 5 {
+		t.Errorf("effective CPU = %v, want 5", got)
+	}
+	mb, err := d.HotUnplugMemory(4096)
+	if err != nil || mb != 4096 {
+		t.Fatalf("HotUnplugMemory = %v, %v", mb, err)
+	}
+	if got := d.Effective().Get(resources.Memory); got != 16384-4096 {
+		t.Errorf("effective memory = %v", got)
+	}
+	// Reinflate.
+	n, err = d.HotPlugVCPUs(3)
+	if err != nil || n != 3 {
+		t.Fatalf("HotPlugVCPUs = %d, %v", n, err)
+	}
+	mb, err = d.HotPlugMemory(4096)
+	if err != nil || mb != 4096 {
+		t.Fatalf("HotPlugMemory = %v, %v", mb, err)
+	}
+	if d.Effective() != d.MaxSize() {
+		t.Errorf("after reinflate, effective = %v", d.Effective())
+	}
+}
+
+func TestHotplugRequiresRunning(t *testing.T) {
+	h := testHost(t)
+	d, _ := h.Define(DomainConfig{Name: "vm", Size: resources.New(4, 8192, 0, 0)})
+	if _, err := d.HotUnplugVCPUs(1); !errors.Is(err, ErrState) {
+		t.Errorf("unplug on defined domain = %v", err)
+	}
+	if _, err := d.HotPlugVCPUs(1); !errors.Is(err, ErrState) {
+		t.Errorf("plug on defined domain = %v", err)
+	}
+	if _, err := d.HotUnplugMemory(128); !errors.Is(err, ErrState) {
+		t.Errorf("mem unplug on defined domain = %v", err)
+	}
+	if _, err := d.HotPlugMemory(128); !errors.Is(err, ErrState) {
+		t.Errorf("mem plug on defined domain = %v", err)
+	}
+}
+
+func TestCombinedTransparentAndExplicit(t *testing.T) {
+	h := testHost(t)
+	d := defineRunning(t, h, "vm", 8, 16384)
+	// Hotplug away 4 vCPUs, then cap the remaining 4 at 2.5 cores.
+	d.HotUnplugVCPUs(4)
+	d.SetCPUShares(2.5)
+	if got := d.Effective().Get(resources.CPU); got != 2.5 {
+		t.Errorf("effective CPU = %v, want 2.5", got)
+	}
+	// Raising the cgroup limit above plugged does not inflate.
+	d.SetCPUShares(6)
+	if got := d.Effective().Get(resources.CPU); got != 4 {
+		t.Errorf("effective CPU = %v, want 4 (plugged)", got)
+	}
+}
+
+func TestSwapPressureAndCacheLoss(t *testing.T) {
+	h := testHost(t)
+	d := defineRunning(t, h, "vm", 4, 8192)
+	d.Guest().SetWorkload(4000, 2000) // RSS 4256, cache 2000
+	if got := d.SwapPressure(); got != 0 {
+		t.Errorf("no limit: swap pressure = %v", got)
+	}
+	d.SetMemoryLimit(2128) // half of RSS
+	if got := d.SwapPressure(); got < 0.49 || got > 0.51 {
+		t.Errorf("swap pressure = %v, want ~0.5", got)
+	}
+	d.SetMemoryLimit(5256) // RSS + half cache
+	if got := d.CacheLoss(); got < 0.49 || got > 0.51 {
+		t.Errorf("cache loss = %v, want ~0.5", got)
+	}
+}
+
+func TestDeflatedByLabel(t *testing.T) {
+	h := testHost(t)
+	d := defineRunning(t, h, "vm", 4, 8192)
+	if d.DeflatedBy() != "" {
+		t.Error("fresh domain should have empty label")
+	}
+	d.SetDeflatedBy("hybrid")
+	if d.DeflatedBy() != "hybrid" {
+		t.Errorf("label = %q", d.DeflatedBy())
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	h := testHost(t)
+	min := resources.New(1, 2048, 0, 0)
+	d, err := h.Define(DomainConfig{
+		Name: "vm", Size: resources.New(4, 8192, 100, 1000),
+		Deflatable: true, Priority: 0.75, MinAllocation: min,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Deflatable() || d.Priority() != 0.75 {
+		t.Error("deflatable/priority accessors wrong")
+	}
+	if d.MinAllocation() != min {
+		t.Errorf("MinAllocation = %v", d.MinAllocation())
+	}
+	if d.Host() != h {
+		t.Error("Host accessor wrong")
+	}
+	if d.Config().Name != "vm" {
+		t.Error("Config accessor wrong")
+	}
+	if h.Capacity() != resources.New(48, 131072, 1000, 10000) {
+		t.Error("Capacity accessor wrong")
+	}
+	if h.Name() != "node-0" {
+		t.Error("Name accessor wrong")
+	}
+}

@@ -1,0 +1,187 @@
+// Package loadbalancer implements the HAProxy-style load balancing of
+// Section 7.3: smooth weighted round robin (the algorithm HAProxy and
+// nginx use), plain round robin, least-connections, and the paper's
+// deflation-aware variant that re-weights backends by their current
+// effective capacity so deflated replicas receive proportionally fewer
+// requests.
+package loadbalancer
+
+import (
+	"errors"
+	"math"
+)
+
+// Backend is one server behind the balancer.
+type Backend struct {
+	// Name identifies the backend.
+	Name string
+	// Weight is the static configured weight (vanilla WRR).
+	Weight int
+
+	// current is smooth-WRR state.
+	current int
+	// inflight tracks outstanding requests (least-connections).
+	inflight int
+	// capacity is the dynamic effective capacity reported by the
+	// deflation system (deflation-aware re-weighting).
+	capacity float64
+}
+
+// ErrNoBackends is returned when the balancer has no usable backend.
+var ErrNoBackends = errors.New("loadbalancer: no backends")
+
+// Balancer picks a backend per request.
+type Balancer interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Pick selects a backend for the next request.
+	Pick() (*Backend, error)
+}
+
+// Release informs the balancer a request to b completed (used by
+// least-connections; others ignore it).
+func Release(b *Backend) {
+	if b != nil && b.inflight > 0 {
+		b.inflight--
+	}
+}
+
+// RoundRobin cycles through backends.
+type RoundRobin struct {
+	backends []*Backend
+	next     int
+}
+
+// NewRoundRobin creates a plain round-robin balancer.
+func NewRoundRobin(backends []*Backend) *RoundRobin {
+	return &RoundRobin{backends: backends}
+}
+
+// Name implements Balancer.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Balancer.
+func (r *RoundRobin) Pick() (*Backend, error) {
+	if len(r.backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	b := r.backends[r.next%len(r.backends)]
+	r.next++
+	b.inflight++
+	return b, nil
+}
+
+// WeightedRoundRobin implements smooth weighted round robin: each pick
+// adds every backend's weight to its current counter and selects the
+// largest, subtracting the weight total. This interleaves picks
+// proportionally to weight without bursts.
+type WeightedRoundRobin struct {
+	backends []*Backend
+}
+
+// NewWeightedRoundRobin creates a vanilla HAProxy-style WRR balancer.
+func NewWeightedRoundRobin(backends []*Backend) *WeightedRoundRobin {
+	return &WeightedRoundRobin{backends: backends}
+}
+
+// Name implements Balancer.
+func (*WeightedRoundRobin) Name() string { return "weighted-round-robin" }
+
+// Pick implements Balancer.
+func (w *WeightedRoundRobin) Pick() (*Backend, error) {
+	var best *Backend
+	total := 0
+	for _, b := range w.backends {
+		wt := b.Weight
+		if wt <= 0 {
+			continue
+		}
+		total += wt
+		b.current += wt
+		if best == nil || b.current > best.current {
+			best = b
+		}
+	}
+	if best == nil {
+		return nil, ErrNoBackends
+	}
+	best.current -= total
+	best.inflight++
+	return best, nil
+}
+
+// LeastConnections picks the backend with the fewest in-flight requests,
+// breaking ties by configured weight.
+type LeastConnections struct {
+	backends []*Backend
+}
+
+// NewLeastConnections creates a least-connections balancer.
+func NewLeastConnections(backends []*Backend) *LeastConnections {
+	return &LeastConnections{backends: backends}
+}
+
+// Name implements Balancer.
+func (*LeastConnections) Name() string { return "least-connections" }
+
+// Pick implements Balancer.
+func (l *LeastConnections) Pick() (*Backend, error) {
+	var best *Backend
+	for _, b := range l.backends {
+		if best == nil || b.inflight < best.inflight ||
+			(b.inflight == best.inflight && b.Weight > best.Weight) {
+			best = b
+		}
+	}
+	if best == nil {
+		return nil, ErrNoBackends
+	}
+	best.inflight++
+	return best, nil
+}
+
+// DeflationAware wraps smooth WRR with dynamic weights derived from each
+// backend's reported effective capacity — the paper's modified HAProxy
+// ("dynamically changing the weights assigned to the different servers
+// based on the current deflation level", Section 6). Weights are the
+// capacity in 1/100ths of a core so fractional deflation levels remain
+// distinguishable.
+type DeflationAware struct {
+	wrr *WeightedRoundRobin
+}
+
+// NewDeflationAware creates a deflation-aware balancer. Capacities
+// default to weight until ReportCapacity is called.
+func NewDeflationAware(backends []*Backend) *DeflationAware {
+	da := &DeflationAware{wrr: NewWeightedRoundRobin(backends)}
+	for _, b := range backends {
+		if b.capacity == 0 {
+			b.capacity = float64(b.Weight)
+		}
+	}
+	da.reweigh()
+	return da
+}
+
+// Name implements Balancer.
+func (*DeflationAware) Name() string { return "deflation-aware" }
+
+// ReportCapacity records a backend's new effective capacity (cores) after
+// a deflation or reinflation event and recomputes weights.
+func (da *DeflationAware) ReportCapacity(b *Backend, cores float64) {
+	b.capacity = cores
+	da.reweigh()
+}
+
+func (da *DeflationAware) reweigh() {
+	for _, b := range da.wrr.backends {
+		w := int(math.Round(b.capacity * 100))
+		if b.capacity > 0 && w == 0 {
+			w = 1
+		}
+		b.Weight = w
+	}
+}
+
+// Pick implements Balancer.
+func (da *DeflationAware) Pick() (*Backend, error) { return da.wrr.Pick() }

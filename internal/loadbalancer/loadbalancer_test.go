@@ -1,0 +1,174 @@
+package loadbalancer
+
+import (
+	"testing"
+)
+
+func names(n int) []*Backend {
+	out := make([]*Backend, n)
+	for i := range out {
+		out[i] = &Backend{Name: string(rune('a' + i)), Weight: 1}
+	}
+	return out
+}
+
+func countPicks(t *testing.T, b Balancer, n int) map[string]int {
+	t.Helper()
+	got := map[string]int{}
+	for i := 0; i < n; i++ {
+		be, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[be.Name]++
+		Release(be)
+	}
+	return got
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	bs := names(3)
+	rr := NewRoundRobin(bs)
+	if rr.Name() != "round-robin" {
+		t.Errorf("Name = %q", rr.Name())
+	}
+	got := countPicks(t, rr, 9)
+	for _, b := range bs {
+		if got[b.Name] != 3 {
+			t.Errorf("backend %s picked %d times, want 3", b.Name, got[b.Name])
+		}
+	}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	rr := NewRoundRobin(nil)
+	if _, err := rr.Pick(); err != ErrNoBackends {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWRRProportions(t *testing.T) {
+	bs := []*Backend{
+		{Name: "big", Weight: 3},
+		{Name: "small", Weight: 1},
+	}
+	wrr := NewWeightedRoundRobin(bs)
+	got := countPicks(t, wrr, 400)
+	if got["big"] != 300 || got["small"] != 100 {
+		t.Errorf("picks = %v, want 300/100", got)
+	}
+}
+
+func TestWRRSmoothness(t *testing.T) {
+	// Smooth WRR must interleave, not burst: with weights 2,1 the pattern
+	// over 3 picks contains no two consecutive "small" picks and at most
+	// two consecutive "big" picks.
+	bs := []*Backend{{Name: "big", Weight: 2}, {Name: "small", Weight: 1}}
+	wrr := NewWeightedRoundRobin(bs)
+	var seq []string
+	for i := 0; i < 12; i++ {
+		b, _ := wrr.Pick()
+		seq = append(seq, b.Name)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == "small" && seq[i-1] == "small" {
+			t.Fatalf("bursty small picks: %v", seq)
+		}
+	}
+}
+
+func TestWRRSkipsZeroWeight(t *testing.T) {
+	bs := []*Backend{
+		{Name: "dead", Weight: 0},
+		{Name: "live", Weight: 1},
+	}
+	wrr := NewWeightedRoundRobin(bs)
+	got := countPicks(t, wrr, 10)
+	if got["dead"] != 0 || got["live"] != 10 {
+		t.Errorf("picks = %v", got)
+	}
+	all := NewWeightedRoundRobin([]*Backend{{Name: "x", Weight: 0}})
+	if _, err := all.Pick(); err != ErrNoBackends {
+		t.Errorf("all-zero weights err = %v", err)
+	}
+}
+
+func TestLeastConnections(t *testing.T) {
+	bs := names(2)
+	lc := NewLeastConnections(bs)
+	b1, _ := lc.Pick() // both 0: first with weight tie -> a
+	b2, _ := lc.Pick() // a has 1, b has 0 -> b
+	if b1.Name == b2.Name {
+		t.Errorf("least-connections should alternate on empty backends: %s, %s", b1.Name, b2.Name)
+	}
+	// Without releasing, thirds pick balances again.
+	b3, _ := lc.Pick()
+	Release(b3)
+	if lc.Name() != "least-connections" {
+		t.Errorf("Name = %q", lc.Name())
+	}
+	empty := NewLeastConnections(nil)
+	if _, err := empty.Pick(); err != ErrNoBackends {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReleaseNilAndUnderflow(t *testing.T) {
+	Release(nil) // no panic
+	b := &Backend{Name: "x"}
+	Release(b) // inflight already 0: no underflow
+	if b.inflight != 0 {
+		t.Errorf("inflight = %d", b.inflight)
+	}
+}
+
+func TestDeflationAwareReweighting(t *testing.T) {
+	bs := []*Backend{
+		{Name: "d1", Weight: 100},
+		{Name: "d2", Weight: 100},
+		{Name: "full", Weight: 100},
+	}
+	da := NewDeflationAware(bs)
+	if da.Name() != "deflation-aware" {
+		t.Errorf("Name = %q", da.Name())
+	}
+	// Two replicas deflated to 2 cores, one at 10 cores.
+	da.ReportCapacity(bs[0], 2)
+	da.ReportCapacity(bs[1], 2)
+	da.ReportCapacity(bs[2], 10)
+	got := countPicks(t, da, 1400)
+	// Expected proportions 2:2:10 -> 200:200:1000.
+	if got["full"] != 1000 || got["d1"] != 200 || got["d2"] != 200 {
+		t.Errorf("picks = %v, want full=1000 d1=200 d2=200", got)
+	}
+}
+
+func TestDeflationAwareTinyCapacity(t *testing.T) {
+	bs := []*Backend{
+		{Name: "tiny", Weight: 100},
+		{Name: "full", Weight: 100},
+	}
+	da := NewDeflationAware(bs)
+	da.ReportCapacity(bs[0], 0.001) // rounds to 0 but must stay pickable
+	da.ReportCapacity(bs[1], 1)
+	got := countPicks(t, da, 101)
+	if got["tiny"] == 0 {
+		t.Error("tiny-capacity backend should still receive some traffic")
+	}
+	if got["tiny"] >= got["full"] {
+		t.Errorf("tiny should get far less: %v", got)
+	}
+}
+
+func TestDeflationAwareZeroCapacityDrained(t *testing.T) {
+	bs := []*Backend{
+		{Name: "dead", Weight: 100},
+		{Name: "live", Weight: 100},
+	}
+	da := NewDeflationAware(bs)
+	da.ReportCapacity(bs[0], 0)
+	got := countPicks(t, da, 10)
+	if got["dead"] != 0 {
+		t.Errorf("zero-capacity backend should be drained: %v", got)
+	}
+}

@@ -1,0 +1,246 @@
+// Package mechanism implements the paper's three VM deflation mechanisms
+// (Section 4): transparent deflation through hypervisor multiplexing
+// (cgroup limits), explicit deflation through guest-visible hotplug, and
+// the hybrid mechanism of Figure 13 that hot-unplugs down to the guest's
+// safety threshold and multiplexes the rest of the way.
+//
+// A mechanism turns a *target allocation vector* into hypervisor/guest
+// actions and reports what allocation was actually achieved. Targets are
+// absolute allocations (not deltas); deflating and reinflating are the
+// same operation with different targets, which is how the paper's
+// policies "run proportional deflation backwards" for reinflation.
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/resources"
+)
+
+// ErrTarget reports an unachievable or invalid target.
+var ErrTarget = errors.New("mechanism: invalid deflation target")
+
+// Mechanism applies absolute allocation targets to a domain.
+type Mechanism interface {
+	// Name identifies the mechanism ("transparent", "explicit", "hybrid").
+	Name() string
+	// Apply drives the domain's allocation toward target and returns the
+	// allocation actually achieved. Implementations clamp the target into
+	// [domain minimum, domain nominal size]; they never power off the VM.
+	Apply(d *hypervisor.Domain, target resources.Vector) (resources.Vector, error)
+}
+
+// clampTarget bounds target into the domain's feasible range and keeps at
+// least a sliver of CPU and memory so the VM never fully stalls
+// (deflation, not preemption). It returns an error for negative targets.
+func clampTarget(d *hypervisor.Domain, target resources.Vector) (resources.Vector, error) {
+	if err := target.CheckNonNegative(); err != nil {
+		return resources.Vector{}, fmt.Errorf("%w: %v", ErrTarget, err)
+	}
+	t := target.Clamp(d.MinAllocation(), d.MaxSize())
+	// Floor: 1/20th of a core and 64 MB, per the paper's observation that
+	// even a 0.05-CPU microservice container keeps running.
+	if t.Get(resources.CPU) < 0.05 {
+		t = t.With(resources.CPU, 0.05)
+	}
+	if t.Get(resources.Memory) < 64 {
+		t = t.With(resources.Memory, 64)
+	}
+	return t.Min(d.MaxSize()), nil
+}
+
+// Transparent implements Section 4.2: all deflation happens through the
+// hypervisor's cgroup knobs. The guest OS is unaware; it simply runs
+// "slower". Fine-grained and unbounded below, but pays swap penalties
+// when memory drops under the guest's resident set.
+type Transparent struct{}
+
+// Name implements Mechanism.
+func (Transparent) Name() string { return "transparent" }
+
+// Apply implements Mechanism.
+func (Transparent) Apply(d *hypervisor.Domain, target resources.Vector) (resources.Vector, error) {
+	t, err := clampTarget(d, target)
+	if err != nil {
+		return resources.Vector{}, err
+	}
+	if err := d.SetCPUShares(t.Get(resources.CPU)); err != nil {
+		return resources.Vector{}, err
+	}
+	if err := d.SetMemoryLimit(t.Get(resources.Memory)); err != nil {
+		return resources.Vector{}, err
+	}
+	if v := t.Get(resources.DiskBW); v > 0 {
+		if err := d.SetDiskLimit(v); err != nil {
+			return resources.Vector{}, err
+		}
+	}
+	if v := t.Get(resources.NetBW); v > 0 {
+		if err := d.SetNetLimit(v); err != nil {
+			return resources.Vector{}, err
+		}
+	}
+	d.SetDeflatedBy("transparent")
+	return d.Effective(), nil
+}
+
+// Explicit implements Section 4.3: deflation via guest-visible hot
+// unplug only. CPU moves in whole vCPUs and memory in guest blocks, both
+// bounded by guest safety (>=1 vCPU, never below RSS), so the achieved
+// allocation may be above the target — the caller must check. NIC and
+// disk unplugging is unsafe (Section 4.3), so I/O dimensions fall back to
+// the transparent throttles.
+type Explicit struct{}
+
+// Name implements Mechanism.
+func (Explicit) Name() string { return "explicit" }
+
+// Apply implements Mechanism.
+func (Explicit) Apply(d *hypervisor.Domain, target resources.Vector) (resources.Vector, error) {
+	t, err := clampTarget(d, target)
+	if err != nil {
+		return resources.Vector{}, err
+	}
+	if err := applyCPUHotplug(d, t.Get(resources.CPU)); err != nil {
+		return resources.Vector{}, err
+	}
+	if err := applyMemoryHotplug(d, t.Get(resources.Memory)); err != nil {
+		return resources.Vector{}, err
+	}
+	// I/O: transparent throttling (explicit unplug is unsafe).
+	if v := t.Get(resources.DiskBW); v > 0 {
+		if err := d.SetDiskLimit(v); err != nil {
+			return resources.Vector{}, err
+		}
+	}
+	if v := t.Get(resources.NetBW); v > 0 {
+		if err := d.SetNetLimit(v); err != nil {
+			return resources.Vector{}, err
+		}
+	}
+	d.SetDeflatedBy("explicit")
+	return d.Effective(), nil
+}
+
+// applyCPUHotplug moves the online vCPU count toward ceil(targetCores).
+// Hotplug cannot remove fractional vCPUs ("it is not possible to unplug
+// 1.5 vCPUs"), so the target is rounded up: explicit deflation never
+// over-deflates.
+func applyCPUHotplug(d *hypervisor.Domain, targetCores float64) error {
+	want := int(math.Ceil(targetCores - 1e-9))
+	if want < 1 {
+		want = 1
+	}
+	online := d.Guest().OnlineVCPUs()
+	switch {
+	case online > want:
+		if _, err := d.HotUnplugVCPUs(online - want); err != nil {
+			return err
+		}
+	case online < want:
+		if _, err := d.HotPlugVCPUs(want - online); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyMemoryHotplug moves plugged memory toward targetMB, respecting
+// the guest's RSS safety threshold on the way down.
+func applyMemoryHotplug(d *hypervisor.Domain, targetMB float64) error {
+	plugged := d.Guest().PluggedMemoryMB()
+	switch {
+	case plugged > targetMB:
+		if _, err := d.HotUnplugMemory(plugged - targetMB); err != nil {
+			return err
+		}
+	case plugged < targetMB:
+		if _, err := d.HotPlugMemory(targetMB - plugged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hybrid implements Figure 13:
+//
+//	def deflate_hybrid(target):
+//	    hotplug_val = max(get_hp_threshold(), round_up(target))
+//	    deflate_hotplug(hotplug_val)
+//	    deflate_multiplexing(target)
+//
+// Explicit hotplug reclaims what the guest can safely release (letting it
+// drop caches and rebalance), then transparent multiplexing takes the
+// allocation the rest of the way to the fine-grained target.
+type Hybrid struct{}
+
+// Name implements Mechanism.
+func (Hybrid) Name() string { return "hybrid" }
+
+// Apply implements Mechanism.
+func (Hybrid) Apply(d *hypervisor.Domain, target resources.Vector) (resources.Vector, error) {
+	t, err := clampTarget(d, target)
+	if err != nil {
+		return resources.Vector{}, err
+	}
+
+	// CPU: hotplug toward ceil(target); the cgroup trims the fraction.
+	if err := applyCPUHotplug(d, t.Get(resources.CPU)); err != nil {
+		return resources.Vector{}, err
+	}
+	if err := d.SetCPUShares(t.Get(resources.CPU)); err != nil {
+		return resources.Vector{}, err
+	}
+
+	// Memory: hotplug down to max(RSS threshold, target); the memory
+	// cgroup covers any remaining distance (possibly into swap, but only
+	// for the portion hotplug could not reach).
+	targetMB := t.Get(resources.Memory)
+	hpThreshold := d.Guest().RSSMB()
+	hotplugVal := math.Max(hpThreshold, targetMB)
+	if err := applyMemoryHotplug(d, hotplugVal); err != nil {
+		return resources.Vector{}, err
+	}
+	if err := d.SetMemoryLimit(targetMB); err != nil {
+		return resources.Vector{}, err
+	}
+
+	// I/O is transparent in all mechanisms.
+	if v := t.Get(resources.DiskBW); v > 0 {
+		if err := d.SetDiskLimit(v); err != nil {
+			return resources.Vector{}, err
+		}
+	}
+	if v := t.Get(resources.NetBW); v > 0 {
+		if err := d.SetNetLimit(v); err != nil {
+			return resources.Vector{}, err
+		}
+	}
+	d.SetDeflatedBy("hybrid")
+	return d.Effective(), nil
+}
+
+// ByName returns the mechanism with the given name.
+func ByName(name string) (Mechanism, error) {
+	switch name {
+	case "transparent":
+		return Transparent{}, nil
+	case "explicit":
+		return Explicit{}, nil
+	case "hybrid":
+		return Hybrid{}, nil
+	}
+	return nil, fmt.Errorf("mechanism: unknown mechanism %q", name)
+}
+
+// DeflateByFraction is a convenience that deflates every dimension of the
+// domain's nominal size by frac (0 = undeflated, 0.5 = half) using m.
+func DeflateByFraction(m Mechanism, d *hypervisor.Domain, frac float64) (resources.Vector, error) {
+	if frac < 0 || frac >= 1 {
+		return resources.Vector{}, fmt.Errorf("%w: fraction %g outside [0,1)", ErrTarget, frac)
+	}
+	return m.Apply(d, d.MaxSize().Scale(1-frac))
+}

@@ -1,0 +1,117 @@
+// Package notify implements the deflation-notification channel of
+// Figure 1: "the hypervisor also sends notifications to the application
+// manager (such as a load balancer), which can help applications respond
+// to deflation." Subscribers (a deflation-aware load balancer, an
+// application autoscaler, a metrics pipeline) receive an event whenever
+// a VM's allocation changes.
+package notify
+
+import (
+	"sync"
+
+	"vmdeflate/internal/resources"
+)
+
+// EventKind distinguishes deflation from reinflation.
+type EventKind int
+
+const (
+	// Deflated means the VM's allocation decreased.
+	Deflated EventKind = iota
+	// Reinflated means the VM's allocation increased.
+	Reinflated
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k == Deflated {
+		return "deflated"
+	}
+	return "reinflated"
+}
+
+// Event describes one allocation change.
+type Event struct {
+	// VM is the domain name; Server the hosting server.
+	VM, Server string
+	Kind       EventKind
+	// Old and New are the allocations before and after.
+	Old, New resources.Vector
+	// DeflationFraction is the VM's overall deflation after the change
+	// (0 = full size).
+	DeflationFraction float64
+	// Mechanism is the mechanism label ("transparent", "hybrid", ...).
+	Mechanism string
+}
+
+// Subscriber receives events. Implementations must not block for long;
+// the bus delivers synchronously in subscription order.
+type Subscriber func(Event)
+
+// Bus fans events out to subscribers. The zero value is ready to use.
+type Bus struct {
+	mu   sync.RWMutex
+	subs map[int]Subscriber
+	next int
+
+	// Delivered counts events fanned out (for tests/metrics).
+	delivered int
+}
+
+// Subscribe registers fn and returns an unsubscribe function.
+func (b *Bus) Subscribe(fn Subscriber) (cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.subs == nil {
+		b.subs = make(map[int]Subscriber)
+	}
+	id := b.next
+	b.next++
+	b.subs[id] = fn
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs, id)
+	}
+}
+
+// Publish fans ev out to all subscribers.
+func (b *Bus) Publish(ev Event) {
+	b.mu.RLock()
+	subs := make([]Subscriber, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.RUnlock()
+	for _, s := range subs {
+		s(ev)
+	}
+	b.mu.Lock()
+	b.delivered += len(subs)
+	b.mu.Unlock()
+}
+
+// Delivered returns the number of subscriber deliveries so far.
+func (b *Bus) Delivered() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.delivered
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// Classify derives the event kind from an allocation change: any
+// dimension shrinking means Deflated; otherwise Reinflated.
+func Classify(old, new resources.Vector) EventKind {
+	for _, k := range resources.Kinds {
+		if new.Get(k) < old.Get(k)-1e-9 {
+			return Deflated
+		}
+	}
+	return Reinflated
+}

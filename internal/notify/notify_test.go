@@ -1,0 +1,86 @@
+package notify
+
+import (
+	"sync"
+	"testing"
+
+	"vmdeflate/internal/resources"
+)
+
+func TestSubscribePublishUnsubscribe(t *testing.T) {
+	var b Bus
+	var got []Event
+	cancel := b.Subscribe(func(ev Event) { got = append(got, ev) })
+	if b.Subscribers() != 1 {
+		t.Errorf("subscribers = %d", b.Subscribers())
+	}
+	ev := Event{VM: "vm-1", Server: "n0", Kind: Deflated}
+	b.Publish(ev)
+	if len(got) != 1 || got[0].VM != "vm-1" {
+		t.Fatalf("got = %v", got)
+	}
+	cancel()
+	b.Publish(ev)
+	if len(got) != 1 {
+		t.Error("unsubscribed subscriber still received events")
+	}
+	if b.Delivered() != 1 {
+		t.Errorf("delivered = %d", b.Delivered())
+	}
+	cancel() // double-cancel is a no-op
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	var b Bus
+	count := 0
+	for i := 0; i < 3; i++ {
+		b.Subscribe(func(Event) { count++ })
+	}
+	b.Publish(Event{})
+	if count != 3 {
+		t.Errorf("count = %d", count)
+	}
+	if b.Delivered() != 3 {
+		t.Errorf("delivered = %d", b.Delivered())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	full := resources.CPUMem(8, 16384)
+	half := full.Scale(0.5)
+	if Classify(full, half) != Deflated {
+		t.Error("shrink should classify as Deflated")
+	}
+	if Classify(half, full) != Reinflated {
+		t.Error("growth should classify as Reinflated")
+	}
+	// Mixed change (one dim down) counts as deflation.
+	mixed := resources.CPUMem(16, 8192)
+	if Classify(full, mixed) != Deflated {
+		t.Error("mixed change with any shrink is Deflated")
+	}
+	if Deflated.String() != "deflated" || Reinflated.String() != "reinflated" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	var b Bus
+	var mu sync.Mutex
+	n := 0
+	b.Subscribe(func(Event) { mu.Lock(); n++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(Event{})
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 800 {
+		t.Errorf("n = %d", n)
+	}
+}

@@ -1,0 +1,135 @@
+// Package perfmodel captures the abstract application-behaviour model of
+// Section 3.1 (Figure 2): performance under deflation has a slack region
+// (no impact), a linear degradation region, and a knee beyond which
+// performance collapses. Calibrated per-application curves reproduce
+// Figure 3, and the worst-case linear assumption used by the cluster
+// policies ("our policies assume the worst-case linear correlation
+// between deflation and performance", Section 5) is available as
+// WorstCaseLinear.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Curve is a slack/linear/knee deflation-response curve. Deflation d and
+// performance are normalised to [0, 1]; Performance(0) = 1.
+type Curve struct {
+	// Slack is the deflation fraction that can be reclaimed with no
+	// performance impact (the flat region of Figure 2).
+	Slack float64
+	// Knee is the deflation fraction where collapse begins.
+	Knee float64
+	// LossAtKnee is the performance lost by the time deflation reaches
+	// the knee (the linear region's total drop).
+	LossAtKnee float64
+	// CollapseExp shapes the post-knee region: performance falls like
+	// ((1-d)/(1-knee))^CollapseExp toward zero at d=1. Values > 1 give
+	// the precipitous drop of Figure 2.
+	CollapseExp float64
+}
+
+// Validate reports configuration errors.
+func (c Curve) Validate() error {
+	if c.Slack < 0 || c.Slack > 1 {
+		return fmt.Errorf("perfmodel: slack %g outside [0,1]", c.Slack)
+	}
+	if c.Knee < c.Slack || c.Knee > 1 {
+		return fmt.Errorf("perfmodel: knee %g outside [slack,1]", c.Knee)
+	}
+	if c.LossAtKnee < 0 || c.LossAtKnee > 1 {
+		return fmt.Errorf("perfmodel: loss at knee %g outside [0,1]", c.LossAtKnee)
+	}
+	if c.CollapseExp < 0 {
+		return fmt.Errorf("perfmodel: negative collapse exponent")
+	}
+	return nil
+}
+
+// Performance returns normalised performance (0..1] at deflation d. d is
+// clamped into [0,1].
+func (c Curve) Performance(d float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	if d >= 1 {
+		return 0
+	}
+	switch {
+	case d <= c.Slack:
+		return 1
+	case d <= c.Knee:
+		if c.Knee == c.Slack {
+			return 1 - c.LossAtKnee
+		}
+		return 1 - c.LossAtKnee*(d-c.Slack)/(c.Knee-c.Slack)
+	default:
+		atKnee := 1 - c.LossAtKnee
+		frac := (1 - d) / (1 - c.Knee)
+		return atKnee * math.Pow(frac, c.CollapseExp)
+	}
+}
+
+// Slowdown returns the response-time multiplier 1/Performance(d),
+// saturating at maxSlowdown to keep overload regions finite.
+func (c Curve) Slowdown(d, maxSlowdown float64) float64 {
+	p := c.Performance(d)
+	if p <= 0 || 1/p > maxSlowdown {
+		return maxSlowdown
+	}
+	return 1 / p
+}
+
+// WorstCaseLinear is the conservative model the cluster-level policies
+// assume (Section 5): no slack, performance = 1 - d.
+var WorstCaseLinear = Curve{Slack: 0, Knee: 1, LossAtKnee: 1, CollapseExp: 1}
+
+// Calibrated per-application curves reproducing Figure 3 ("application
+// performance when all resources are deflated in the same proportion").
+var (
+	// SpecJBB exhibits no slack at all (Section 3.1) and degrades
+	// steadily before collapsing.
+	SpecJBB = Curve{Slack: 0, Knee: 0.60, LossAtKnee: 0.50, CollapseExp: 2.0}
+	// Kcompile (kernel compile) is CPU-bound: a small slack from I/O
+	// phases, then roughly proportional slowdown.
+	Kcompile = Curve{Slack: 0.12, Knee: 0.75, LossAtKnee: 0.45, CollapseExp: 1.5}
+	// Memcached has large slack (over-provisioned memory, tiny CPU needs)
+	// and tolerates deep deflation (Section 3.2.2, Figure 3).
+	Memcached = Curve{Slack: 0.35, Knee: 0.80, LossAtKnee: 0.20, CollapseExp: 2.5}
+)
+
+// Profiles names the Figure 3 curves.
+var Profiles = map[string]Curve{
+	"specjbb":   SpecJBB,
+	"kcompile":  Kcompile,
+	"memcached": Memcached,
+}
+
+// ByName returns a named profile.
+func ByName(name string) (Curve, error) {
+	c, ok := Profiles[name]
+	if !ok {
+		return Curve{}, fmt.Errorf("perfmodel: unknown profile %q", name)
+	}
+	return c, nil
+}
+
+// ThroughputLoss converts a utilisation trace and a deflated allocation
+// into the throughput decrease of Section 7.4.2: the loss is the area of
+// the utilisation curve above the deflated allocation (Figure 4),
+// normalised by total demand. util and alloc are percentages of the
+// nominal allocation.
+func ThroughputLoss(util []float64, allocPct float64) float64 {
+	var demand, lost float64
+	for _, u := range util {
+		demand += u
+		if u > allocPct {
+			lost += u - allocPct
+		}
+	}
+	if demand == 0 {
+		return 0
+	}
+	return lost / demand
+}

@@ -1,0 +1,323 @@
+// Package policy implements the server-level deflation policies of
+// Section 5.1: proportional deflation (Equations 1-2), priority-weighted
+// proportional deflation (Equations 3-4), and deterministic deflation,
+// plus reinflation for all three ("run the proportional deflation
+// backwards", Section 5.1.3).
+//
+// A policy is a pure function: given the deflatable VMs on a server and
+// the amount of each resource that must be freed relative to the current
+// allocations, it returns a new target allocation per VM. Mechanisms
+// (package mechanism) then apply the targets. Policies never choose to
+// preempt; if even maximal deflation cannot satisfy the need they report
+// ErrInsufficient and the caller (cluster manager) rejects the request —
+// that is the "failure probability" measured in Figure 20.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmdeflate/internal/resources"
+)
+
+// ErrInsufficient reports that even deflating every VM to its floor
+// cannot free the requested amount.
+var ErrInsufficient = errors.New("policy: insufficient deflatable resources")
+
+// VMState is a policy's view of one deflatable VM.
+type VMState struct {
+	// Name identifies the VM.
+	Name string
+	// Max is the nominal undeflated allocation M_i.
+	Max resources.Vector
+	// Min is the QoS floor m_i (zero vector when the VM has no floor).
+	Min resources.Vector
+	// Priority is pi in (0,1]; larger values deflate less. Policies that
+	// ignore priority (plain proportional) do not read it.
+	Priority float64
+	// Current is the VM's present allocation.
+	Current resources.Vector
+}
+
+// Result is a policy decision.
+type Result struct {
+	// Targets maps VM name to its new target allocation.
+	Targets map[string]resources.Vector
+	// Freed is the decrease of total allocation relative to Current
+	// (negative components mean the policy reinflated).
+	Freed resources.Vector
+}
+
+// Policy computes target allocations.
+type Policy interface {
+	// Name identifies the policy ("proportional", "priority", "deterministic").
+	Name() string
+	// Targets returns new allocations for vms that free need (per
+	// resource, relative to current allocations). Negative need
+	// components request reinflation. If the need cannot be fully met the
+	// result holds best-effort targets alongside ErrInsufficient.
+	Targets(vms []VMState, need resources.Vector) (Result, error)
+}
+
+// totals sums Max, Min and Current across vms.
+func totals(vms []VMState) (max, min, cur resources.Vector) {
+	for _, vm := range vms {
+		max = max.Add(vm.Max)
+		min = min.Add(vm.Min)
+		cur = cur.Add(vm.Current)
+	}
+	return
+}
+
+func buildResult(vms []VMState, targets map[string]resources.Vector) Result {
+	var freed resources.Vector
+	for _, vm := range vms {
+		freed = freed.Add(vm.Current).Sub(targets[vm.Name])
+	}
+	return Result{Targets: targets, Freed: freed}
+}
+
+// checkFeasible compares the achievable reclaim against need and wraps
+// res with ErrInsufficient where the need cannot be met.
+func checkFeasible(res Result, need resources.Vector) (Result, error) {
+	const eps = 1e-6
+	for _, k := range resources.Kinds {
+		if res.Freed.Get(k)+eps < need.Get(k) {
+			return res, fmt.Errorf("%w: %s freed %.3f of %.3f needed",
+				ErrInsufficient, k, res.Freed.Get(k), need.Get(k))
+		}
+	}
+	return res, nil
+}
+
+// Proportional implements Equations 1 and 2: each VM is deflated in
+// proportion to its deflatable range (M_i - m_i), independently per
+// resource. With all m_i = 0 this reduces to Equation 1.
+type Proportional struct{}
+
+// Name implements Policy.
+func (Proportional) Name() string { return "proportional" }
+
+// Targets implements Policy.
+func (Proportional) Targets(vms []VMState, need resources.Vector) (Result, error) {
+	return weightedTargets(vms, need, func(VMState) float64 { return 1 })
+}
+
+// Priority implements Equations 3 and 4: the deflatable range of VM i is
+// weighted by its priority pi, so low-priority VMs absorb more of the
+// reclamation. With m_i = pi*M_i this is exactly Equation 4.
+type Priority struct{}
+
+// Name implements Policy.
+func (Priority) Name() string { return "priority" }
+
+// Targets implements Policy.
+func (Priority) Targets(vms []VMState, need resources.Vector) (Result, error) {
+	return weightedTargets(vms, need, func(vm VMState) float64 {
+		p := vm.Priority
+		if p <= 0 {
+			p = 1e-3 // avoid a zero weight freezing the formula
+		}
+		return p
+	})
+}
+
+// weightedTargets computes, per resource k, allocations of the form
+//
+//	new_i = clamp(m_i + alpha * w_i * (M_i - m_i), m_i, M_i)
+//
+// with alpha chosen so that the total allocation drops by need[k]
+// relative to the current total. VMs that clamp at M_i are frozen and
+// alpha is recomputed over the rest (water-filling); this degenerates to
+// the paper's closed-form alpha when no clamp binds, and handles
+// reinflation (negative need) with the same code path.
+func weightedTargets(vms []VMState, need resources.Vector, weight func(VMState) float64) (Result, error) {
+	targets := make(map[string]resources.Vector, len(vms))
+	for _, vm := range vms {
+		targets[vm.Name] = vm.Min // start from floors, fill below
+	}
+	_, _, curTotal := totals(vms)
+
+	for _, k := range resources.Kinds {
+		// Desired total allocation after this decision.
+		desired := curTotal.Get(k) - need.Get(k)
+		solveDimension(vms, k, desired, weight, targets)
+	}
+	res := buildResult(vms, targets)
+	return checkFeasible(res, need)
+}
+
+// solveDimension performs the per-resource water-filling described on
+// weightedTargets, writing new_i into targets[name][k].
+func solveDimension(vms []VMState, k resources.Kind, desired float64, weight func(VMState) float64, targets map[string]resources.Vector) {
+	type entry struct {
+		vm      *VMState
+		w       float64
+		rangeK  float64
+		clamped bool
+	}
+	entries := make([]entry, 0, len(vms))
+	floorSum := 0.0
+	for i := range vms {
+		vm := &vms[i]
+		r := vm.Max.Get(k) - vm.Min.Get(k)
+		if r < 0 {
+			r = 0
+		}
+		entries = append(entries, entry{vm: vm, w: weight(*vm), rangeK: r})
+		floorSum += vm.Min.Get(k)
+	}
+
+	// Clamp the desired total into the feasible band.
+	maxSum := floorSum
+	for _, e := range entries {
+		maxSum += e.rangeK
+	}
+	if desired < floorSum {
+		desired = floorSum
+	}
+	if desired > maxSum {
+		desired = maxSum
+	}
+
+	// Water-filling iterations: at most len(entries) rounds, since each
+	// round clamps at least one VM or terminates.
+	for round := 0; round <= len(entries); round++ {
+		var wSum, clampedSum, freeFloor float64
+		for _, e := range entries {
+			if e.clamped {
+				clampedSum += e.vm.Max.Get(k)
+				continue
+			}
+			wSum += e.w * e.rangeK
+			freeFloor += e.vm.Min.Get(k)
+		}
+		if wSum <= 0 {
+			// No deflatable range left: everyone at floor or clamped.
+			for i := range entries {
+				e := &entries[i]
+				v := e.vm.Min.Get(k)
+				if e.clamped {
+					v = e.vm.Max.Get(k)
+				}
+				targets[e.vm.Name] = targets[e.vm.Name].With(k, v)
+			}
+			return
+		}
+		alpha := (desired - clampedSum - freeFloor) / wSum
+		if alpha < 0 {
+			alpha = 0
+		}
+		newClamp := false
+		for i := range entries {
+			e := &entries[i]
+			if e.clamped {
+				continue
+			}
+			v := e.vm.Min.Get(k) + alpha*e.w*e.rangeK
+			if v >= e.vm.Max.Get(k) {
+				e.clamped = true
+				newClamp = true
+			}
+		}
+		if !newClamp {
+			for i := range entries {
+				e := &entries[i]
+				v := e.vm.Max.Get(k)
+				if !e.clamped {
+					v = e.vm.Min.Get(k) + alpha*e.w*e.rangeK
+				}
+				targets[e.vm.Name] = targets[e.vm.Name].With(k, v)
+			}
+			return
+		}
+	}
+}
+
+// Deterministic implements Section 5.1.3: deflation is binary — a VM is
+// either at its full allocation M_i or at its pre-specified deflated
+// level pi*M_i. VMs are deflated lowest-priority first until the need is
+// met, and conversely the highest-priority deflated VM is reinflated
+// first when resources free up. (The paper's prose says "decreasing
+// order of pi"; we deflate in increasing pi order, which is the ordering
+// consistent with the paper's reinflation rule — "the highest priority
+// VMs are reinflated first" — and with Figure 21's observation that
+// deterministic deflation penalises low-priority VMs most.)
+type Deterministic struct{}
+
+// Name implements Policy.
+func (Deterministic) Name() string { return "deterministic" }
+
+// Targets implements Policy.
+func (Deterministic) Targets(vms []VMState, need resources.Vector) (Result, error) {
+	order := make([]*VMState, len(vms))
+	for i := range vms {
+		order[i] = &vms[i]
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Priority != order[j].Priority {
+			return order[i].Priority < order[j].Priority
+		}
+		return order[i].Name < order[j].Name
+	})
+
+	// Recompute the deflation set from scratch: walk VMs lowest priority
+	// first, deflating until the total allocation is at or below the
+	// desired level in every dimension. VMs not needed stay (or return)
+	// at full size — this single pass implements both deflation and
+	// reinflation deterministically.
+	_, _, curTotal := totals(vms)
+	desired := curTotal.Sub(need)
+
+	targets := make(map[string]resources.Vector, len(vms))
+	var total resources.Vector
+	for _, vm := range order {
+		targets[vm.Name] = vm.Max
+		total = total.Add(vm.Max)
+	}
+	for _, vm := range order {
+		if total.FitsIn(desired) {
+			break
+		}
+		deflated := vm.Max.Scale(vm.Priority).Max(vm.Min)
+		total = total.Sub(vm.Max).Add(deflated)
+		targets[vm.Name] = deflated
+	}
+	res := buildResult(vms, targets)
+	return checkFeasible(res, need)
+}
+
+// ByName returns the policy with the given name.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "proportional":
+		return Proportional{}, nil
+	case "priority":
+		return Priority{}, nil
+	case "deterministic":
+		return Deterministic{}, nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// PriorityFromP95 derives a VM's deflation priority from the 95th
+// percentile of its CPU utilisation, quantised into nlevels levels in
+// (0, 1], as done by the paper's cluster simulation (Section 7.1.2):
+// high-utilisation VMs get high priority and are deflated less.
+func PriorityFromP95(p95 float64, nlevels int) float64 {
+	if nlevels < 1 {
+		nlevels = 1
+	}
+	if p95 < 0 {
+		p95 = 0
+	}
+	if p95 > 100 {
+		p95 = 100
+	}
+	level := int(p95 / (100.0 / float64(nlevels)))
+	if level >= nlevels {
+		level = nlevels - 1
+	}
+	return float64(level+1) / float64(nlevels)
+}

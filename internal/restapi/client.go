@@ -1,0 +1,243 @@
+package restapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// NodeClient talks to one noded instance.
+type NodeClient struct {
+	// BaseURL is the node's address, e.g. "http://10.0.0.5:8700".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *NodeClient) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError converts a non-2xx response into an error.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("restapi: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsConflict reports whether err is a 409 (insufficient resources).
+func IsConflict(err error) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Status == http.StatusConflict
+}
+
+func (c *NodeClient) do(method, path string, in, out any) error {
+	var body *bytes.Buffer = bytes.NewBuffer(nil)
+	if in != nil {
+		if err := json.NewEncoder(body).Encode(in); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var er ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		return &apiError{Status: resp.StatusCode, Message: er.Error}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Status fetches the node's resource state.
+func (c *NodeClient) Status() (NodeStatus, error) {
+	var st NodeStatus
+	err := c.do(http.MethodGet, "/v1/status", nil, &st)
+	return st, err
+}
+
+// ListVMs fetches all VMs on the node.
+func (c *NodeClient) ListVMs() ([]VMStatus, error) {
+	var out []VMStatus
+	err := c.do(http.MethodGet, "/v1/vms", nil, &out)
+	return out, err
+}
+
+// PlaceVM asks the node to host spec.
+func (c *NodeClient) PlaceVM(spec VMSpec) (PlaceResponse, error) {
+	var out PlaceResponse
+	err := c.do(http.MethodPost, "/v1/vms", spec, &out)
+	return out, err
+}
+
+// GetVM fetches one VM.
+func (c *NodeClient) GetVM(name string) (VMStatus, error) {
+	var out VMStatus
+	err := c.do(http.MethodGet, "/v1/vms/"+name, nil, &out)
+	return out, err
+}
+
+// RemoveVM deletes one VM (the node reinflates survivors).
+func (c *NodeClient) RemoveVM(name string) error {
+	return c.do(http.MethodDelete, "/v1/vms/"+name, nil, nil)
+}
+
+// DeflateVM retargets one VM's allocation.
+func (c *NodeClient) DeflateVM(name string, req DeflateRequest) (VMStatus, error) {
+	var out VMStatus
+	err := c.do(http.MethodPost, "/v1/vms/"+name+"/deflate", req, &out)
+	return out, err
+}
+
+// CentralManager is the distributed counterpart of cluster.Manager: it
+// ranks remote nodes by placement fitness from their reported status and
+// delegates the placement decision to the chosen node's local
+// controller, trying the next-best node on rejection.
+type CentralManager struct {
+	mu         sync.Mutex
+	nodes      map[string]*NodeClient
+	placements map[string]string // vm -> node name
+
+	// Rejections counts placements no node could satisfy.
+	Rejections int
+}
+
+// NewCentralManager creates an empty manager.
+func NewCentralManager() *CentralManager {
+	return &CentralManager{
+		nodes:      make(map[string]*NodeClient),
+		placements: make(map[string]string),
+	}
+}
+
+// AddNode registers a node by name and base URL.
+func (m *CentralManager) AddNode(name, baseURL string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[name] = &NodeClient{BaseURL: baseURL}
+}
+
+// Nodes returns the registered node names, sorted.
+func (m *CentralManager) Nodes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.nodes))
+	for n := range m.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PlaceVM runs distributed three-step placement.
+func (m *CentralManager) PlaceVM(spec VMSpec) (PlaceResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.placements[spec.Name]; ok {
+		return PlaceResponse{}, fmt.Errorf("restapi: VM %s already placed", spec.Name)
+	}
+
+	// Mirror cluster.Manager's two-phase placement: surplus-first
+	// (tightest fit among nodes with free room, no deflation), then
+	// deflation-aware availability ranking under pressure.
+	type cand struct {
+		name    string
+		client  *NodeClient
+		fitness float64
+		surplus bool
+		left    float64
+	}
+	var cands []cand
+	for name, nc := range m.nodes {
+		st, err := nc.Status()
+		if err != nil {
+			continue // unreachable node: skip
+		}
+		free := st.Capacity.Sub(st.Allocated).ClampNonNegative()
+		c := cand{name: name, client: nc}
+		if spec.Size.FitsIn(free) {
+			c.surplus = true
+			c.left = free.Sub(spec.Size).DominantShare(st.Capacity)
+		}
+		avail := st.Availability()
+		nd := spec.Size.Norm()
+		if nd < 1e-9 {
+			nd = 1e-9
+		}
+		c.fitness = avail.Dot(spec.Size) / nd
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.surplus != b.surplus {
+			return a.surplus
+		}
+		if a.surplus {
+			if a.left != b.left {
+				return a.left < b.left // tightest fit first
+			}
+		} else if a.fitness != b.fitness {
+			return a.fitness > b.fitness
+		}
+		return a.name < b.name
+	})
+
+	for _, c := range cands {
+		resp, err := c.client.PlaceVM(spec)
+		if err == nil {
+			m.placements[spec.Name] = c.name
+			return resp, nil
+		}
+		if !IsConflict(err) {
+			return PlaceResponse{}, err
+		}
+	}
+	m.Rejections++
+	return PlaceResponse{}, fmt.Errorf("restapi: no node can host VM %s", spec.Name)
+}
+
+// RemoveVM removes a VM from whichever node hosts it.
+func (m *CentralManager) RemoveVM(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.placements[name]
+	if !ok {
+		return fmt.Errorf("restapi: VM %s not placed", name)
+	}
+	if err := m.nodes[node].RemoveVM(name); err != nil {
+		return err
+	}
+	delete(m.placements, name)
+	return nil
+}
+
+// LookupVM returns the status of a placed VM.
+func (m *CentralManager) LookupVM(name string) (VMStatus, error) {
+	m.mu.Lock()
+	node, ok := m.placements[name]
+	nc := m.nodes[node]
+	m.mu.Unlock()
+	if !ok {
+		return VMStatus{}, fmt.Errorf("restapi: VM %s not placed", name)
+	}
+	return nc.GetVM(name)
+}

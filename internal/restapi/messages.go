@@ -1,0 +1,71 @@
+// Package restapi is the JSON-over-HTTP control plane of Section 6: a
+// centralized cluster manager (cmd/clusterd) speaks to per-server local
+// deflation controllers (cmd/noded). The wire protocol carries the
+// three-step placement: the manager ranks servers by fitness from their
+// reported status, asks the best server to host the VM, and the server
+// either deflates residents to make room or rejects, in which case the
+// manager tries the next server.
+package restapi
+
+import "vmdeflate/internal/resources"
+
+// VMSpec describes a VM over the wire (mirrors hypervisor.DomainConfig).
+type VMSpec struct {
+	Name          string           `json:"name"`
+	Size          resources.Vector `json:"size"`
+	Deflatable    bool             `json:"deflatable"`
+	Priority      float64          `json:"priority"`
+	MinAllocation resources.Vector `json:"min_allocation"`
+}
+
+// VMStatus reports one VM's current state.
+type VMStatus struct {
+	Name       string           `json:"name"`
+	Size       resources.Vector `json:"size"`
+	Allocation resources.Vector `json:"allocation"`
+	Deflatable bool             `json:"deflatable"`
+	Priority   float64          `json:"priority"`
+	State      string           `json:"state"`
+	DeflatedBy string           `json:"deflated_by,omitempty"`
+}
+
+// NodeStatus reports one server's resource state; the manager derives
+// placement fitness from it.
+type NodeStatus struct {
+	Name      string           `json:"name"`
+	Capacity  resources.Vector `json:"capacity"`
+	Allocated resources.Vector `json:"allocated"`
+	Committed resources.Vector `json:"committed"`
+	// Deflatable is the total resource reclaimable from deflatable VMs.
+	Deflatable resources.Vector `json:"deflatable"`
+	// Overcommit is the server's current overcommitment fraction.
+	Overcommit float64 `json:"overcommit"`
+	VMs        int     `json:"vms"`
+}
+
+// Availability computes the placement availability vector from a
+// reported status (same formula as cluster.Availability).
+func (s NodeStatus) Availability() resources.Vector {
+	return s.Capacity.Sub(s.Allocated).
+		Add(s.Deflatable.Scale(1 / (1 + s.Overcommit))).
+		ClampNonNegative()
+}
+
+// PlaceResponse acknowledges a placement.
+type PlaceResponse struct {
+	VM   VMStatus `json:"vm"`
+	Node string   `json:"node"`
+	// Deflations is how many resident VMs were deflated to make room.
+	Deflations int `json:"deflations"`
+}
+
+// DeflateRequest asks a node to retarget one VM's allocation directly
+// (used by operators and tests; cluster placement does this internally).
+type DeflateRequest struct {
+	Target resources.Vector `json:"target"`
+}
+
+// ErrorResponse carries an error over the wire.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,220 @@
+package restapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+
+	"vmdeflate/internal/cluster"
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/resources"
+)
+
+// NodeServer is the per-server local deflation controller (Section 6):
+// it owns one hypervisor host, computes local deflation with the
+// configured policy, and exposes the control API consumed by the
+// central manager.
+//
+// Routes:
+//
+//	GET    /v1/status        -> NodeStatus
+//	GET    /v1/vms           -> []VMStatus
+//	POST   /v1/vms           (VMSpec) -> PlaceResponse | 409
+//	GET    /v1/vms/{name}    -> VMStatus
+//	DELETE /v1/vms/{name}    -> 204 (reinflates survivors)
+//	POST   /v1/vms/{name}/deflate (DeflateRequest) -> VMStatus
+type NodeServer struct {
+	mu     sync.Mutex
+	server *cluster.Server
+	cfg    cluster.Config
+}
+
+// NewNodeServer creates a local controller for a host with the given
+// capacity.
+func NewNodeServer(name string, capacity resources.Vector, cfg cluster.Config) (*NodeServer, error) {
+	h, err := hypervisor.NewHost(hypervisor.HostConfig{Name: name, Capacity: capacity})
+	if err != nil {
+		return nil, err
+	}
+	return &NodeServer{server: &cluster.Server{Host: h, Partition: -1}, cfg: cfg.WithDefaults()}, nil
+}
+
+// Host exposes the underlying hypervisor host (for tests).
+func (n *NodeServer) Host() *hypervisor.Host { return n.server.Host }
+
+// Status snapshots the node.
+func (n *NodeServer) Status() NodeStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.server.Host
+	var deflatable resources.Vector
+	vms := 0
+	for _, d := range h.Domains() {
+		if d.State() != hypervisor.Running {
+			continue
+		}
+		vms++
+		if d.Deflatable() {
+			deflatable = deflatable.Add(d.Allocation().Sub(d.MinAllocation()).ClampNonNegative())
+		}
+	}
+	return NodeStatus{
+		Name:       h.Name(),
+		Capacity:   h.Capacity(),
+		Allocated:  h.Allocated(),
+		Committed:  h.Committed(),
+		Deflatable: deflatable,
+		Overcommit: h.Overcommit(),
+		VMs:        vms,
+	}
+}
+
+func vmStatusOf(d *hypervisor.Domain) VMStatus {
+	return VMStatus{
+		Name:       d.Name(),
+		Size:       d.MaxSize(),
+		Allocation: d.Allocation(),
+		Deflatable: d.Deflatable(),
+		Priority:   d.Priority(),
+		State:      d.State().String(),
+		DeflatedBy: d.DeflatedBy(),
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (n *NodeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/v1/")
+	switch {
+	case path == "status" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, n.Status())
+	case path == "vms" && r.Method == http.MethodGet:
+		n.handleList(w)
+	case path == "vms" && r.Method == http.MethodPost:
+		n.handlePlace(w, r)
+	case strings.HasPrefix(path, "vms/"):
+		rest := strings.TrimPrefix(path, "vms/")
+		if strings.HasSuffix(rest, "/deflate") && r.Method == http.MethodPost {
+			n.handleDeflate(w, r, strings.TrimSuffix(rest, "/deflate"))
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			n.handleGet(w, rest)
+		case http.MethodDelete:
+			n.handleDelete(w, rest)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+		}
+	default:
+		writeError(w, http.StatusNotFound, errors.New("no such route"))
+	}
+}
+
+func (n *NodeServer) handleList(w http.ResponseWriter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []VMStatus
+	for _, d := range n.server.Host.Domains() {
+		out = append(out, vmStatusOf(d))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (n *NodeServer) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var spec VMSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d, deflations, err := cluster.PlaceOn(n.server, n.cfg, hypervisor.DomainConfig{
+		Name:          spec.Name,
+		Size:          spec.Size,
+		Deflatable:    spec.Deflatable,
+		Priority:      spec.Priority,
+		MinAllocation: spec.MinAllocation,
+	})
+	if err != nil {
+		status := http.StatusConflict // insufficient resources
+		if errors.Is(err, hypervisor.ErrExists) || errors.Is(err, hypervisor.ErrInvalid) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, PlaceResponse{
+		VM:         vmStatusOf(d),
+		Node:       n.server.Host.Name(),
+		Deflations: deflations,
+	})
+}
+
+func (n *NodeServer) handleGet(w http.ResponseWriter, name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d, err := n.server.Host.Lookup(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, vmStatusOf(d))
+}
+
+func (n *NodeServer) handleDelete(w http.ResponseWriter, name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.server.Host
+	d, err := h.Lookup(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if d.State() == hypervisor.Running {
+		if err := d.Shutdown(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	if err := h.Undefine(name); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := cluster.Reinflate(n.server, n.cfg); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *NodeServer) handleDeflate(w http.ResponseWriter, r *http.Request, name string) {
+	var req DeflateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d, err := n.server.Host.Lookup(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if _, err := n.cfg.Mechanism.Apply(d, req.Target); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, vmStatusOf(d))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,271 @@
+package restapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vmdeflate/internal/cluster"
+	"vmdeflate/internal/resources"
+)
+
+func newTestNode(t *testing.T, name string) (*NodeServer, *httptest.Server) {
+	t.Helper()
+	ns, err := NewNodeServer(name, resources.New(48, 131072, 1000, 10000), cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ns)
+	t.Cleanup(srv.Close)
+	return ns, srv
+}
+
+func spec(name string, cores, memMB float64, deflatable bool) VMSpec {
+	return VMSpec{
+		Name:       name,
+		Size:       resources.CPUMem(cores, memMB),
+		Deflatable: deflatable,
+		Priority:   0.5,
+	}
+}
+
+func TestNodeStatusEmpty(t *testing.T) {
+	_, srv := newTestNode(t, "n0")
+	nc := &NodeClient{BaseURL: srv.URL}
+	st, err := nc.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "n0" || st.VMs != 0 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Capacity.Get(resources.CPU) != 48 {
+		t.Errorf("capacity = %v", st.Capacity)
+	}
+	if st.Availability() != st.Capacity {
+		t.Errorf("availability = %v", st.Availability())
+	}
+}
+
+func TestPlaceGetListRemove(t *testing.T) {
+	_, srv := newTestNode(t, "n0")
+	nc := &NodeClient{BaseURL: srv.URL}
+
+	resp, err := nc.PlaceVM(spec("vm-1", 8, 16384, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Node != "n0" || resp.VM.Name != "vm-1" || resp.Deflations != 0 {
+		t.Errorf("place response = %+v", resp)
+	}
+	if resp.VM.State != "running" {
+		t.Errorf("state = %q", resp.VM.State)
+	}
+
+	got, err := nc.GetVM("vm-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Allocation != resources.CPUMem(8, 16384) {
+		t.Errorf("allocation = %v", got.Allocation)
+	}
+
+	vms, err := nc.ListVMs()
+	if err != nil || len(vms) != 1 {
+		t.Fatalf("list = %v, %v", vms, err)
+	}
+
+	if err := nc.RemoveVM("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.GetVM("vm-1"); err == nil {
+		t.Error("removed VM should 404")
+	}
+	if err := nc.RemoveVM("vm-1"); err == nil {
+		t.Error("double remove should fail")
+	}
+}
+
+func TestPlaceDeflatesResidents(t *testing.T) {
+	_, srv := newTestNode(t, "n0")
+	nc := &NodeClient{BaseURL: srv.URL}
+	if _, err := nc.PlaceVM(spec("low", 40, 65536, true)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := nc.PlaceVM(spec("od", 16, 32768, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Deflations != 1 {
+		t.Errorf("deflations = %d, want 1", resp.Deflations)
+	}
+	low, err := nc.GetVM("low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Allocation.Get(resources.CPU) > 32.001 {
+		t.Errorf("low allocation = %v, want <= 32", low.Allocation)
+	}
+	// Removing the on-demand VM reinflates low.
+	if err := nc.RemoveVM("od"); err != nil {
+		t.Fatal(err)
+	}
+	low, _ = nc.GetVM("low")
+	if low.Allocation.Get(resources.CPU) < 39.999 {
+		t.Errorf("low should reinflate: %v", low.Allocation)
+	}
+}
+
+func TestPlaceConflict(t *testing.T) {
+	_, srv := newTestNode(t, "n0")
+	nc := &NodeClient{BaseURL: srv.URL}
+	if _, err := nc.PlaceVM(spec("od-1", 48, 131072, false)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := nc.PlaceVM(spec("od-2", 8, 8192, false))
+	if err == nil || !IsConflict(err) {
+		t.Errorf("want conflict, got %v", err)
+	}
+	// Bad spec -> 400, not conflict.
+	_, err = nc.PlaceVM(VMSpec{Name: "bad", Size: resources.CPUMem(0, 0)})
+	if err == nil || IsConflict(err) {
+		t.Errorf("want bad request, got %v", err)
+	}
+}
+
+func TestExplicitDeflateEndpoint(t *testing.T) {
+	_, srv := newTestNode(t, "n0")
+	nc := &NodeClient{BaseURL: srv.URL}
+	if _, err := nc.PlaceVM(spec("vm", 8, 16384, true)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nc.DeflateVM("vm", DeflateRequest{Target: resources.CPUMem(4, 8192)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Allocation.Get(resources.CPU) != 4 {
+		t.Errorf("allocation = %v", got.Allocation)
+	}
+	if got.DeflatedBy == "" {
+		t.Error("deflated_by should be set")
+	}
+	if _, err := nc.DeflateVM("ghost", DeflateRequest{Target: resources.CPUMem(1, 1024)}); err == nil {
+		t.Error("deflating unknown VM should fail")
+	}
+}
+
+func TestBadRoutes(t *testing.T) {
+	_, srv := newTestNode(t, "n0")
+	nc := &NodeClient{BaseURL: srv.URL}
+	if err := nc.do("GET", "/v1/bogus", nil, nil); err == nil {
+		t.Error("bogus route should 404")
+	}
+	if err := nc.do("PUT", "/v1/vms/x", nil, nil); err == nil {
+		t.Error("bad method should fail")
+	}
+}
+
+func TestCentralManagerDistributedPlacement(t *testing.T) {
+	cm := NewCentralManager()
+	for _, n := range []string{"n0", "n1"} {
+		_, srv := newTestNode(t, n)
+		cm.AddNode(n, srv.URL)
+	}
+	if len(cm.Nodes()) != 2 {
+		t.Fatalf("nodes = %v", cm.Nodes())
+	}
+	// Two large VMs spread across the two nodes.
+	r1, err := cm.PlaceVM(spec("vm-1", 40, 65536, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cm.PlaceVM(spec("vm-2", 40, 65536, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Node == r2.Node {
+		t.Errorf("expected spread, both on %s", r1.Node)
+	}
+	// Duplicate placement rejected centrally.
+	if _, err := cm.PlaceVM(spec("vm-1", 1, 1024, true)); err == nil {
+		t.Error("duplicate placement should fail")
+	}
+	// Lookup routes through the right node.
+	st, err := cm.LookupVM("vm-1")
+	if err != nil || st.Name != "vm-1" {
+		t.Errorf("lookup = %+v, %v", st, err)
+	}
+	if err := cm.RemoveVM("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.LookupVM("vm-1"); err == nil {
+		t.Error("lookup after remove should fail")
+	}
+	if err := cm.RemoveVM("ghost"); err == nil {
+		t.Error("removing unplaced VM should fail")
+	}
+}
+
+func TestCentralManagerFailover(t *testing.T) {
+	cm := NewCentralManager()
+	ns0, srv0 := newTestNode(t, "n0")
+	_, srv1 := newTestNode(t, "n1")
+	cm.AddNode("n0", srv0.URL)
+	cm.AddNode("n1", srv1.URL)
+	// Fill n0 completely with a non-deflatable VM placed directly.
+	nc0 := &NodeClient{BaseURL: srv0.URL}
+	if _, err := nc0.PlaceVM(spec("filler", 48, 131072, false)); err != nil {
+		t.Fatal(err)
+	}
+	_ = ns0
+	// Central placement must fail over to n1.
+	resp, err := cm.PlaceVM(spec("vm", 40, 65536, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Node != "n1" {
+		t.Errorf("placed on %s, want n1", resp.Node)
+	}
+	// A second huge on-demand VM fits nowhere.
+	if _, err := cm.PlaceVM(spec("vm-2", 40, 65536, false)); err == nil {
+		t.Error("cluster-full placement should fail")
+	}
+	if cm.Rejections != 1 {
+		t.Errorf("rejections = %d", cm.Rejections)
+	}
+}
+
+func TestCentralManagerSkipsDeadNodes(t *testing.T) {
+	cm := NewCentralManager()
+	_, srv := newTestNode(t, "live")
+	cm.AddNode("live", srv.URL)
+	cm.AddNode("dead", "http://127.0.0.1:1") // nothing listens here
+	resp, err := cm.PlaceVM(spec("vm", 4, 8192, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Node != "live" {
+		t.Errorf("placed on %s", resp.Node)
+	}
+}
+
+func TestAvailabilityDiscountsOvercommit(t *testing.T) {
+	st := NodeStatus{
+		Capacity:   resources.CPUMem(48, 131072),
+		Allocated:  resources.CPUMem(48, 131072),
+		Deflatable: resources.CPUMem(24, 65536),
+		Overcommit: 1.0,
+	}
+	got := st.Availability()
+	// free = 0, deflatable discounted by 1/(1+1) = half.
+	if got.Get(resources.CPU) != 12 {
+		t.Errorf("availability cpu = %v, want 12", got.Get(resources.CPU))
+	}
+}
+
+func TestErrorStringsAreInformative(t *testing.T) {
+	err := &apiError{Status: 409, Message: "insufficient"}
+	if !strings.Contains(err.Error(), "409") || !strings.Contains(err.Error(), "insufficient") {
+		t.Errorf("error = %q", err.Error())
+	}
+}

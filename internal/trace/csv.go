@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Azure trace CSV layout: one row per VM,
+//
+//	id,class,cores,memory_mb,start,end,cpu_util
+//
+// where cpu_util is a semicolon-joined list of 5-minute samples. A header
+// row is written and expected.
+
+var azureHeader = []string{"id", "class", "cores", "memory_mb", "start", "end", "cpu_util"}
+
+// WriteAzureCSV serialises the trace.
+func WriteAzureCSV(w io.Writer, t *AzureTrace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(azureHeader); err != nil {
+		return err
+	}
+	for _, vm := range t.VMs {
+		row := []string{
+			vm.ID,
+			vm.Class.String(),
+			strconv.Itoa(vm.Cores),
+			formatFloat(vm.MemoryMB),
+			formatFloat(vm.Start),
+			formatFloat(vm.End),
+			joinSeries(vm.CPUUtil),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadAzureCSV parses a trace written by WriteAzureCSV.
+func ReadAzureCSV(r io.Reader) (*AzureTrace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(azureHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading azure header: %w", err)
+	}
+	if !sliceEqual(header, azureHeader) {
+		return nil, fmt.Errorf("trace: unexpected azure header %v", header)
+	}
+	t := &AzureTrace{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure line %d: %w", line, err)
+		}
+		class, err := ParseVMClass(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure line %d: %w", line, err)
+		}
+		cores, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure line %d cores: %w", line, err)
+		}
+		mem, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure line %d memory: %w", line, err)
+		}
+		start, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure line %d start: %w", line, err)
+		}
+		end, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure line %d end: %w", line, err)
+		}
+		util, err := splitSeries(row[6])
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure line %d util: %w", line, err)
+		}
+		t.VMs = append(t.VMs, &VMRecord{
+			ID: row[0], Class: class, Cores: cores, MemoryMB: mem,
+			Start: start, End: end, CPUUtil: util,
+		})
+	}
+	return t, nil
+}
+
+// Alibaba trace CSV layout: one row per container,
+//
+//	id,cpu,mem,membw,disk,net
+//
+// with each series semicolon-joined.
+
+var alibabaHeader = []string{"id", "cpu", "mem", "membw", "disk", "net"}
+
+// WriteAlibabaCSV serialises the trace.
+func WriteAlibabaCSV(w io.Writer, t *AlibabaTrace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(alibabaHeader); err != nil {
+		return err
+	}
+	for _, c := range t.Containers {
+		row := []string{
+			c.ID,
+			joinSeries(c.CPUUtil),
+			joinSeries(c.MemUtil),
+			joinSeries(c.MemBWUtil),
+			joinSeries(c.DiskUtil),
+			joinSeries(c.NetUtil),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadAlibabaCSV parses a trace written by WriteAlibabaCSV.
+func ReadAlibabaCSV(r io.Reader) (*AlibabaTrace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(alibabaHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading alibaba header: %w", err)
+	}
+	if !sliceEqual(header, alibabaHeader) {
+		return nil, fmt.Errorf("trace: unexpected alibaba header %v", header)
+	}
+	t := &AlibabaTrace{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: alibaba line %d: %w", line, err)
+		}
+		c := &ContainerRecord{ID: row[0]}
+		for i, dst := range []*[]float64{&c.CPUUtil, &c.MemUtil, &c.MemBWUtil, &c.DiskUtil, &c.NetUtil} {
+			s, err := splitSeries(row[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: alibaba line %d col %s: %w", line, alibabaHeader[i+1], err)
+			}
+			*dst = s
+		}
+		t.Containers = append(t.Containers, c)
+	}
+	return t, nil
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func joinSeries(xs []float64) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.FormatFloat(x, 'g', 6, 64))
+	}
+	return b.String()
+}
+
+func splitSeries(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func sliceEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

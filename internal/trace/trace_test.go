@@ -1,0 +1,388 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"vmdeflate/internal/stats"
+)
+
+func TestVMClassRoundTrip(t *testing.T) {
+	for _, c := range Classes {
+		got, err := ParseVMClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseVMClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseVMClass("bogus"); err == nil {
+		t.Error("bogus class should fail")
+	}
+	if !strings.Contains(VMClass(9).String(), "9") {
+		t.Error("unknown class String should include value")
+	}
+}
+
+func TestVMRecordBasics(t *testing.T) {
+	vm := &VMRecord{
+		ID: "vm-1", Class: Interactive, Cores: 4, MemoryMB: 8192,
+		Start: 600, End: 600 + 4*SampleInterval,
+		CPUUtil: []float64{10, 20, 30, 40},
+	}
+	if vm.Lifetime() != 1200 {
+		t.Errorf("Lifetime = %v", vm.Lifetime())
+	}
+	if vm.MeanUtil() != 25 {
+		t.Errorf("MeanUtil = %v", vm.MeanUtil())
+	}
+	if got := vm.UtilAt(600); got != 10 {
+		t.Errorf("UtilAt(start) = %v", got)
+	}
+	if got := vm.UtilAt(600 + 3.5*SampleInterval); got != 40 {
+		t.Errorf("UtilAt(last) = %v", got)
+	}
+	if got := vm.UtilAt(0); got != 0 {
+		t.Errorf("UtilAt(before start) = %v", got)
+	}
+	if got := vm.UtilAt(vm.End); got != 0 {
+		t.Errorf("UtilAt(end) = %v", got)
+	}
+}
+
+func TestFractionAboveDeflation(t *testing.T) {
+	vm := &VMRecord{CPUUtil: []float64{10, 40, 60, 90}}
+	// 50% deflation -> threshold 50 -> 60 and 90 are above -> 0.5.
+	if got := vm.FractionAboveDeflation(50); got != 0.5 {
+		t.Errorf("FractionAboveDeflation(50) = %v", got)
+	}
+	// 0% deflation -> threshold 100 -> nothing above.
+	if got := vm.FractionAboveDeflation(0); got != 0 {
+		t.Errorf("FractionAboveDeflation(0) = %v", got)
+	}
+}
+
+func TestSizeClassification(t *testing.T) {
+	cases := []struct {
+		memMB float64
+		want  SizeClass
+	}{
+		{1024, SmallVM}, {2048, SmallVM}, {2049, MediumVM},
+		{8192, MediumVM}, {8193, LargeVM}, {65536, LargeVM},
+	}
+	for _, c := range cases {
+		vm := &VMRecord{MemoryMB: c.memMB}
+		if got := vm.Size(); got != c.want {
+			t.Errorf("Size(%v MB) = %v, want %v", c.memMB, got, c.want)
+		}
+	}
+	for _, s := range []SizeClass{SmallVM, MediumVM, LargeVM} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "SizeClass") {
+			t.Errorf("SizeClass %d has bad name %q", s, s.String())
+		}
+	}
+}
+
+func TestPeakClassification(t *testing.T) {
+	cases := []struct {
+		p95  float64
+		want PeakClass
+	}{
+		{10, PeakLow}, {32.9, PeakLow}, {33, PeakModerate},
+		{65.9, PeakModerate}, {66, PeakHigher}, {79.9, PeakHigher},
+		{80, PeakHigh}, {100, PeakHigh},
+	}
+	for _, c := range cases {
+		if got := Peak(c.p95); got != c.want {
+			t.Errorf("Peak(%v) = %v, want %v", c.p95, got, c.want)
+		}
+	}
+}
+
+func TestGenerateAzureShape(t *testing.T) {
+	cfg := DefaultAzureConfig()
+	cfg.NumVMs = 400
+	tr := GenerateAzure(cfg)
+	if len(tr.VMs) != 400 {
+		t.Fatalf("generated %d VMs", len(tr.VMs))
+	}
+	for _, vm := range tr.VMs {
+		if vm.Start < 0 || vm.End > cfg.Duration+SampleInterval {
+			t.Fatalf("VM %s lifetime [%v,%v] outside horizon", vm.ID, vm.Start, vm.End)
+		}
+		if vm.Cores < 1 || vm.MemoryMB <= 0 {
+			t.Fatalf("VM %s bad size", vm.ID)
+		}
+		wantSamples := int(math.Ceil(vm.Lifetime() / SampleInterval))
+		if len(vm.CPUUtil) != wantSamples {
+			t.Fatalf("VM %s has %d samples, want %d", vm.ID, len(vm.CPUUtil), wantSamples)
+		}
+		for _, u := range vm.CPUUtil {
+			if u < 0 || u > 100 {
+				t.Fatalf("VM %s util %v out of range", vm.ID, u)
+			}
+		}
+	}
+}
+
+func TestGenerateAzureDeterministic(t *testing.T) {
+	cfg := DefaultAzureConfig()
+	cfg.NumVMs = 50
+	a, b := GenerateAzure(cfg), GenerateAzure(cfg)
+	for i := range a.VMs {
+		if a.VMs[i].ID != b.VMs[i].ID || a.VMs[i].MeanUtil() != b.VMs[i].MeanUtil() {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+	cfg.Seed = 2
+	c := GenerateAzure(cfg)
+	same := true
+	for i := range a.VMs {
+		if a.VMs[i].MeanUtil() != c.VMs[i].MeanUtil() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different traces")
+	}
+}
+
+// The class-level separation that drives Figure 6: interactive VMs must
+// have materially more slack (lower fraction-above) than delay-insensitive
+// VMs, and the absolute levels must be in the paper's reported bands
+// (interactive ~1-15%, batch up to ~30% over 10-50% deflation).
+func TestGenerateAzureClassSeparation(t *testing.T) {
+	cfg := DefaultAzureConfig()
+	cfg.NumVMs = 1500
+	tr := GenerateAzure(cfg)
+	byClass := tr.ByClass()
+	meanAbove := func(vms []*VMRecord, defl float64) float64 {
+		var xs []float64
+		for _, vm := range vms {
+			xs = append(xs, vm.FractionAboveDeflation(defl))
+		}
+		return stats.Mean(xs)
+	}
+	i50 := meanAbove(byClass[Interactive], 50)
+	b50 := meanAbove(byClass[DelayInsensitive], 50)
+	i10 := meanAbove(byClass[Interactive], 10)
+	if i50 >= b50 {
+		t.Errorf("interactive impact (%.3f) should be below batch (%.3f) at 50%% deflation", i50, b50)
+	}
+	if i50 < 0.03 || i50 > 0.25 {
+		t.Errorf("interactive fraction-above at 50%% deflation = %.3f, want ~0.15 (band 0.03-0.25)", i50)
+	}
+	if b50 < 0.15 || b50 > 0.45 {
+		t.Errorf("batch fraction-above at 50%% deflation = %.3f, want ~0.30 (band 0.15-0.45)", b50)
+	}
+	if i10 > 0.05 {
+		t.Errorf("interactive fraction-above at 10%% deflation = %.3f, want ~0.01", i10)
+	}
+}
+
+// Figure 5's headline: even at 50% deflation the median VM spends ~80%
+// of its time below the deflated allocation.
+func TestGenerateAzureMedianSlack(t *testing.T) {
+	cfg := DefaultAzureConfig()
+	cfg.NumVMs = 1500
+	tr := GenerateAzure(cfg)
+	var xs []float64
+	for _, vm := range tr.VMs {
+		xs = append(xs, vm.FractionAboveDeflation(50))
+	}
+	med := stats.Percentile(xs, 50)
+	if med > 0.30 {
+		t.Errorf("median fraction-above at 50%% deflation = %.3f, want <= 0.30 (paper ~0.20)", med)
+	}
+}
+
+func TestGenerateAzurePartitions(t *testing.T) {
+	cfg := DefaultAzureConfig()
+	cfg.NumVMs = 800
+	tr := GenerateAzure(cfg)
+	bySize := tr.BySize()
+	if len(bySize[SmallVM]) == 0 || len(bySize[MediumVM]) == 0 || len(bySize[LargeVM]) == 0 {
+		t.Errorf("size buckets should all be populated: %d/%d/%d",
+			len(bySize[SmallVM]), len(bySize[MediumVM]), len(bySize[LargeVM]))
+	}
+	byPeak := tr.ByPeak()
+	if len(byPeak[PeakLow]) == 0 || len(byPeak[PeakHigh]) == 0 {
+		t.Errorf("peak buckets should include low and high: low=%d high=%d",
+			len(byPeak[PeakLow]), len(byPeak[PeakHigh]))
+	}
+	total := 0
+	for _, vms := range tr.ByClass() {
+		total += len(vms)
+	}
+	if total != 800 {
+		t.Errorf("class partition loses VMs: %d", total)
+	}
+	if tr.Duration() <= 0 || tr.Duration() > cfg.Duration+SampleInterval {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestGenerateAzureEmpty(t *testing.T) {
+	tr := GenerateAzure(AzureConfig{})
+	if len(tr.VMs) != 0 {
+		t.Error("zero config should generate empty trace")
+	}
+}
+
+func TestGenerateAlibabaShape(t *testing.T) {
+	cfg := DefaultAlibabaConfig()
+	cfg.NumContainers = 300
+	tr := GenerateAlibaba(cfg)
+	if len(tr.Containers) != 300 {
+		t.Fatalf("generated %d containers", len(tr.Containers))
+	}
+	for _, c := range tr.Containers {
+		for _, series := range [][]float64{c.CPUUtil, c.MemUtil, c.MemBWUtil, c.DiskUtil, c.NetUtil} {
+			if len(series) != cfg.Samples {
+				t.Fatalf("container %s series has %d samples", c.ID, len(series))
+			}
+			for _, u := range series {
+				if u < 0 || u > 100 {
+					t.Fatalf("container %s util %v out of range", c.ID, u)
+				}
+			}
+		}
+	}
+}
+
+// Section 3.2.2's characteristics: memory occupancy high, memory
+// bandwidth tiny, disk/net low.
+func TestGenerateAlibabaCharacteristics(t *testing.T) {
+	cfg := DefaultAlibabaConfig()
+	cfg.NumContainers = 500
+	tr := GenerateAlibaba(cfg)
+
+	var memAbove90, membwMeans, diskAbove50, netAbove30 []float64
+	for _, c := range tr.Containers {
+		memAbove90 = append(memAbove90, stats.FractionAbove(c.MemUtil, 90))
+		membwMeans = append(membwMeans, stats.Mean(c.MemBWUtil))
+		diskAbove50 = append(diskAbove50, stats.FractionAbove(c.DiskUtil, 50))
+		netAbove30 = append(netAbove30, stats.FractionAbove(c.NetUtil, 30))
+	}
+	// Figure 9: at 10% memory deflation most containers look badly
+	// under-allocated (paper: >70% of time) — mean fraction above 90%
+	// occupancy should be high.
+	if m := stats.Mean(memAbove90); m < 0.5 {
+		t.Errorf("mean fraction of time memory occupancy >90%% = %.3f, want high (>0.5, paper ~0.7)", m)
+	}
+	// Figure 10: mean memory-bandwidth utilisation < 0.2%, max <= 1%.
+	if m := stats.Mean(membwMeans); m > 0.2 {
+		t.Errorf("mean memory bandwidth util = %.4f%%, want < 0.2%%", m)
+	}
+	// Figure 11: at 50% disk deflation under-allocated <1% of time.
+	if m := stats.Mean(diskAbove50); m > 0.02 {
+		t.Errorf("disk fraction-above at 50%% deflation = %.4f, want < 0.02", m)
+	}
+	// Figure 12: at 70% net deflation under-allocation ~1% of lifetime.
+	if m := stats.Mean(netAbove30); m > 0.03 {
+		t.Errorf("net fraction-above at 70%% deflation = %.4f, want <= 0.03", m)
+	}
+}
+
+func TestAzureCSVRoundTrip(t *testing.T) {
+	cfg := DefaultAzureConfig()
+	cfg.NumVMs = 25
+	orig := GenerateAzure(cfg)
+	var buf bytes.Buffer
+	if err := WriteAzureCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAzureCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != len(orig.VMs) {
+		t.Fatalf("round trip lost VMs: %d vs %d", len(got.VMs), len(orig.VMs))
+	}
+	for i, vm := range orig.VMs {
+		g := got.VMs[i]
+		if g.ID != vm.ID || g.Class != vm.Class || g.Cores != vm.Cores ||
+			g.MemoryMB != vm.MemoryMB || g.Start != vm.Start || g.End != vm.End {
+			t.Fatalf("metadata mismatch at %d: %+v vs %+v", i, g, vm)
+		}
+		if len(g.CPUUtil) != len(vm.CPUUtil) {
+			t.Fatalf("series length mismatch at %d", i)
+		}
+		for j := range g.CPUUtil {
+			if math.Abs(g.CPUUtil[j]-vm.CPUUtil[j]) > 1e-4 {
+				t.Fatalf("sample mismatch at vm %d sample %d: %v vs %v", i, j, g.CPUUtil[j], vm.CPUUtil[j])
+			}
+		}
+	}
+}
+
+func TestAlibabaCSVRoundTrip(t *testing.T) {
+	cfg := DefaultAlibabaConfig()
+	cfg.NumContainers = 10
+	cfg.Samples = 30
+	orig := GenerateAlibaba(cfg)
+	var buf bytes.Buffer
+	if err := WriteAlibabaCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAlibabaCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Containers) != len(orig.Containers) {
+		t.Fatalf("round trip lost containers")
+	}
+	for i := range orig.Containers {
+		o, g := orig.Containers[i], got.Containers[i]
+		if g.ID != o.ID {
+			t.Fatalf("ID mismatch at %d", i)
+		}
+		if math.Abs(stats.Mean(g.MemUtil)-stats.Mean(o.MemUtil)) > 1e-3 {
+			t.Fatalf("memory series corrupted at %d", i)
+		}
+	}
+}
+
+func TestReadAzureCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bad,header\n",
+		"id,class,cores,memory_mb,start,end,cpu_util\nvm-1,badclass,1,1024,0,300,10\n",
+		"id,class,cores,memory_mb,start,end,cpu_util\nvm-1,interactive,notanint,1024,0,300,10\n",
+		"id,class,cores,memory_mb,start,end,cpu_util\nvm-1,interactive,1,1024,0,300,10;x\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadAzureCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadAlibabaCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bad\n",
+		"id,cpu,mem,membw,disk,net\nc-1,1;2,3,x,5,6\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadAlibabaCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestEmptySeriesRoundTrip(t *testing.T) {
+	tr := &AzureTrace{VMs: []*VMRecord{{ID: "vm-0", Class: Unknown, Cores: 1, MemoryMB: 1024}}}
+	var buf bytes.Buffer
+	if err := WriteAzureCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAzureCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs[0].CPUUtil) != 0 {
+		t.Error("empty series should survive round trip")
+	}
+}

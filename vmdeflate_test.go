@@ -1,0 +1,166 @@
+package vmdeflate
+
+import (
+	"errors"
+	"testing"
+)
+
+// Facade-level integration tests: the whole stack driven through the
+// public API only.
+
+func TestFacadeEndToEnd(t *testing.T) {
+	mgr := NewManager(ClusterConfig{
+		Policy:    ProportionalPolicy,
+		Mechanism: HybridMechanism,
+	})
+	for _, n := range []string{"n0", "n1"} {
+		if _, err := mgr.AddServer(n, DefaultServerCapacity(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fill with deflatable VMs, then admit an on-demand VM by deflation.
+	for i, name := range []string{"web-a", "web-b"} {
+		_ = i
+		if _, _, err := mgr.PlaceVM(DomainConfig{
+			Name:       name,
+			Size:       CPUMem(48, 98304),
+			Deflatable: true,
+			Priority:   0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	od, _, err := mgr.PlaceVM(DomainConfig{Name: "db", Size: CPUMem(24, 32768)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od.Allocation() != od.MaxSize() {
+		t.Errorf("on-demand VM should be undeflated: %v", od.Allocation())
+	}
+	st := mgr.Stats()
+	if st.VMs != 3 || !st.Allocated.FitsIn(st.Capacity) {
+		t.Errorf("stats = %+v", st)
+	}
+	// Departure reinflates.
+	if err := mgr.RemoveVM("db"); err != nil {
+		t.Fatal(err)
+	}
+	web, _, err := mgr.LookupVM("web-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if web.DeflationFraction() > 0.26 {
+		t.Errorf("web-a should have reinflated: deflation %v", web.DeflationFraction())
+	}
+}
+
+func TestFacadeAdmissionControl(t *testing.T) {
+	mgr := NewManager(ClusterConfig{})
+	if _, err := mgr.AddServer("n0", CPUMem(48, 131072), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mgr.PlaceVM(DomainConfig{Name: "big", Size: CPUMem(48, 131072)}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := mgr.PlaceVM(DomainConfig{Name: "more", Size: CPUMem(8, 8192)})
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("want ErrNoCapacity, got %v", err)
+	}
+}
+
+func TestFacadeNameLookups(t *testing.T) {
+	for _, name := range []string{"transparent", "explicit", "hybrid"} {
+		if _, err := MechanismByName(name); err != nil {
+			t.Errorf("MechanismByName(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"proportional", "priority", "deterministic"} {
+		if _, err := PolicyByName(name); err != nil {
+			t.Errorf("PolicyByName(%q): %v", name, err)
+		}
+	}
+	if PriorityFromP95(90, 4) != 1.0 {
+		t.Error("PriorityFromP95 wrong")
+	}
+}
+
+func TestFacadeTraceAndFeasibility(t *testing.T) {
+	cfg := DefaultAzureConfig()
+	cfg.NumVMs = 200
+	tr := GenerateAzureTrace(cfg)
+	tab, err := CPUFeasibility(tr, DefaultDeflationLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty feasibility table")
+	}
+	if FormatFeasibilityTable(tab) == "" {
+		t.Error("empty format")
+	}
+	if _, err := FeasibilityByClass(tr, []float64{50}); err != nil {
+		t.Error(err)
+	}
+	if _, err := FeasibilityBySize(tr, []float64{50}); err != nil {
+		t.Error(err)
+	}
+	if _, err := FeasibilityByPeak(tr, []float64{50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := DefaultAzureConfig()
+	cfg.NumVMs = 300
+	cfg.Duration = 86400
+	tr := GenerateAzureTrace(cfg)
+	base, err := BaselineServerCount(tr, DefaultServerCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSimulation(SimConfig{Trace: tr, Overcommit: 0.4, BaselineServers: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted == 0 {
+		t.Error("nothing admitted")
+	}
+	sr, err := SweepOvercommit(tr, StrategyProportional, []float64{0, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc := RevenueIncrease(sr, "static"); len(inc) != 2 {
+		t.Errorf("revenue increase = %v", inc)
+	}
+}
+
+func TestFacadePricingSchemes(t *testing.T) {
+	size := CPUMem(8, 16384)
+	if StaticPricing.Rate(size, 0.5, size) != 1.6 {
+		t.Error("static rate wrong")
+	}
+	if PriorityPricing.Rate(size, 0.5, size) != 4.0 {
+		t.Error("priority rate wrong")
+	}
+	if AllocationPricing.Rate(size, 0.5, size.Scale(0.5)) != 0.8 {
+		t.Error("allocation rate wrong")
+	}
+}
+
+func TestFacadeApplications(t *testing.T) {
+	wcfg := DefaultWikipediaConfig()
+	wcfg.Duration = 10
+	if _, err := RunWikipedia(wcfg, 30); err != nil {
+		t.Error(err)
+	}
+	scfg := DefaultSocialNetConfig()
+	scfg.Duration = 10
+	if _, err := RunSocialNetwork(scfg, 30); err != nil {
+		t.Error(err)
+	}
+	lcfg := DefaultLBConfig()
+	lcfg.Duration = 10
+	if _, err := RunLBExperiment(lcfg, 30, true); err != nil {
+		t.Error(err)
+	}
+}
