@@ -1,0 +1,30 @@
+# Developer/CI entry points. `make ci` is what the GitHub Actions
+# workflow runs: vet, race-enabled tests, and a one-shot smoke of the
+# parallel sweep benchmark.
+
+GO ?= go
+
+.PHONY: build test vet race bench-smoke bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the 10k-VM sweep benchmarks: proves the parallel
+# engine end-to-end without the cost of a full benchmark session.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Sweep10k' -benchtime 1x .
+
+# The full reproduction benchmark suite (all figures).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+ci: build vet race bench-smoke

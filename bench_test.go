@@ -375,6 +375,101 @@ func BenchmarkFig22_Revenue(b *testing.B) {
 	b.ReportMetric(inc, "static_rev_increase_pct@60%OC")
 }
 
+// --- Cluster-scale sweep engine benchmarks ---
+
+// Sweep fixture: a 10k-VM Azure-like trace with its baseline cluster
+// size, built once. This is the scale the parallel sweep layer exists
+// for; the per-figure fixtures above stay small to keep `go test` fast.
+var (
+	sweepOnce sync.Once
+	sweepTr   *trace.AzureTrace
+	sweepBase int
+)
+
+func sweepFixture(b *testing.B) (*trace.AzureTrace, int) {
+	b.Helper()
+	sweepOnce.Do(func() {
+		cfg := trace.DefaultAzureConfig()
+		cfg.NumVMs = 10000
+		cfg.Duration = 2 * 86400
+		sweepTr = trace.GenerateAzure(cfg)
+		n, err := clustersim.BaselineServerCount(sweepTr, clustersim.DefaultServerCapacity())
+		if err != nil {
+			panic(err)
+		}
+		sweepBase = n
+	})
+	return sweepTr, sweepBase
+}
+
+// sweepGridBench runs the benchmark grid — two deflation strategies at
+// two overcommitment levels, the shape of one Figure 20/21 panel — with
+// the given worker count.
+func sweepGridBench(b *testing.B, workers int) {
+	tr, base := sweepFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := clustersim.SweepGrid(tr,
+			[]string{clustersim.StrategyProportional, clustersim.StrategyPriority},
+			[]float64{30, 60},
+			clustersim.Options{Workers: workers, BaselineServers: base})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs[0].Points[1].ThroughputLossPct, "prop_loss_pct@60%OC")
+	}
+}
+
+// BenchmarkSweep10kSequential is the Workers=1 reference point for the
+// parallel engine: the identical grid, one run at a time.
+func BenchmarkSweep10kSequential(b *testing.B) { sweepGridBench(b, 1) }
+
+// BenchmarkSweep10kParallel fans the same grid out across all cores.
+// Results are bit-for-bit those of the sequential run (guarded by
+// TestSweepGridParallelMatchesSequential); on >= 4 cores the wall clock
+// should drop to roughly the slowest single point, i.e. >= 2x faster
+// than sequential.
+func BenchmarkSweep10kParallel(b *testing.B) { sweepGridBench(b, 0) }
+
+// BenchmarkScenarioBursty10k exercises the engine on the flash-crowd
+// scenario at 10k-VM scale: one proportional-deflation point at 50%
+// overcommitment, trace generated fresh each iteration from a fixed
+// seed (per-run RNG, as the replicated sweeps use).
+func BenchmarkScenarioBursty10k(b *testing.B) {
+	var fail float64
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+			Kind: trace.ScenarioBursty, NumVMs: 10000, Duration: 2 * 86400, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := clustersim.Run(clustersim.Config{Trace: tr, Overcommit: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fail = res.FailureProbability
+	}
+	b.ReportMetric(fail, "failprob@50%OC")
+}
+
+// BenchmarkScenarioGen100k measures trace synthesis alone at 100k-VM
+// scale — the generator must never be the bottleneck of a cloud-scale
+// sweep.
+func BenchmarkScenarioGen100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+			Kind: trace.ScenarioHeavyTail, NumVMs: 100000, Duration: 3 * 86400, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.VMs) != 100000 {
+			b.Fatalf("generated %d VMs", len(tr.VMs))
+		}
+	}
+}
+
 // BenchmarkAblationHybridThreshold ablates the hybrid mechanism's
 // switchover point: swap pressure paid when deflating a memory-heavy VM
 // to 50% with hybrid (hotplug stops at RSS) vs pure transparent.

@@ -41,25 +41,20 @@ func main() {
 	run("feasibility", "-vms", strconv.Itoa(nVMs), "-seed", strconv.FormatInt(*seed, 10))
 	run("webbench", "-seed", strconv.FormatInt(*seed, 10))
 
-	// Figures 20-22 inline (shared baseline across strategies).
+	// Figures 20-22 inline (shared baseline across strategies), fanned
+	// out over all cores by the parallel sweep engine.
 	fmt.Println("== Figures 20-22: cluster-scale simulation")
 	cfg := trace.DefaultAzureConfig()
 	cfg.NumVMs = nVMs
 	cfg.Seed = *seed
 	tr := trace.GenerateAzure(cfg)
 	ocs := []float64{0, 10, 20, 30, 40, 50, 60, 70}
-	for _, strat := range []string{
-		clustersim.StrategyProportional,
-		clustersim.StrategyPriority,
-		clustersim.StrategyDeterministic,
-		clustersim.StrategyPartitioned,
-		clustersim.StrategyPreemption,
-	} {
-		sr, err := clustersim.Sweep(tr, strat, ocs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("-- %s\n%8s %12s %12s %12s %12s %12s\n", strat,
+	results, err := clustersim.SweepGrid(tr, clustersim.Strategies, ocs, clustersim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sr := range results {
+		fmt.Printf("-- %s\n%8s %12s %12s %12s %12s %12s\n", sr.Strategy,
 			"oc%", "failure", "tput-loss%", "rev-static%", "rev-prio%", "rev-alloc%")
 		incS := clustersim.RevenueIncrease(sr, "static")
 		incP := clustersim.RevenueIncrease(sr, "priority")

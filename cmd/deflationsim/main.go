@@ -1,11 +1,16 @@
 // Command deflationsim runs the trace-driven cluster simulation of
 // Section 7.4 and prints the series behind Figures 20 (failure
-// probability), 21 (throughput loss) and 22 (revenue increase).
+// probability), 21 (throughput loss) and 22 (revenue increase). The
+// strategy × overcommitment grid fans out across all cores (one
+// share-nothing engine per point), so large sweeps scale with the
+// machine; results are identical at any worker count.
 //
 // Usage:
 //
 //	deflationsim -vms 10000 -days 3
 //	deflationsim -strategies proportional,preemption -oc 0,10,20,30,40,50,60,70
+//	deflationsim -scenario bursty -replicates 5        # mean over 5 seeded traces
+//	deflationsim -workers 1                            # force sequential
 //	deflationsim -azure azure.csv
 package main
 
@@ -26,33 +31,76 @@ func main() {
 	log.SetPrefix("deflationsim: ")
 
 	azurePath := flag.String("azure", "", "Azure-format CSV (default: synthetic)")
+	scenario := flag.String("scenario", "azure", "synthetic scenario: azure, diurnal, bursty or heavytail")
 	nVMs := flag.Int("vms", 2000, "synthetic trace size")
 	days := flag.Float64("days", 3, "synthetic trace horizon (days)")
 	seed := flag.Int64("seed", 1, "synthetic trace seed")
+	replicates := flag.Int("replicates", 1, "independently seeded traces to average over (synthetic only)")
+	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
 	ocList := flag.String("oc", "0,10,20,30,40,50,60,70", "overcommitment percentages")
-	strategies := flag.String("strategies",
-		strings.Join([]string{
-			clustersim.StrategyProportional,
-			clustersim.StrategyPriority,
-			clustersim.StrategyDeterministic,
-			clustersim.StrategyPartitioned,
-			clustersim.StrategyPreemption,
-		}, ","),
+	strategies := flag.String("strategies", strings.Join(clustersim.Strategies, ","),
 		"comma-separated strategies")
 	flag.Parse()
 
-	tr := loadTrace(*azurePath, *nVMs, *days, *seed)
+	strats := splitStrategies(*strategies)
 	ocs := parseFloats(*ocList)
+	opts := clustersim.Options{Workers: *workers}
 
-	fmt.Printf("trace: %d VMs, horizon %.1f days\n\n", len(tr.VMs), tr.Duration()/86400)
-
-	for _, strat := range strings.Split(*strategies, ",") {
-		strat = strings.TrimSpace(strat)
-		sr, err := clustersim.Sweep(tr, strat, ocs)
+	var results []*clustersim.SweepResult
+	switch {
+	case *azurePath != "":
+		tr := loadCSV(*azurePath)
+		fmt.Printf("trace: %d VMs, horizon %.1f days\n\n", len(tr.VMs), tr.Duration()/86400)
+		var err error
+		results, err = clustersim.SweepGrid(tr, strats, ocs, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("== strategy: %s\n", strat)
+	case *replicates > 1:
+		kind, err := trace.ParseScenario(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seeds := make([]int64, *replicates)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		gen := func(s int64) *trace.AzureTrace {
+			tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+				Kind: kind, NumVMs: *nVMs, Duration: *days * 86400, Seed: s,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return tr
+		}
+		fmt.Printf("scenario %s: %d VMs x %d replicates, horizon %.1f days (mean shown)\n\n",
+			kind, *nVMs, *replicates, *days)
+		reps, err := clustersim.ReplicatedSweep(gen, seeds, strats, ocs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = clustersim.AverageSweeps(reps)
+	default:
+		kind, err := trace.ParseScenario(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+			Kind: kind, NumVMs: *nVMs, Duration: *days * 86400, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario %s: %d VMs, horizon %.1f days\n\n", kind, len(tr.VMs), tr.Duration()/86400)
+		results, err = clustersim.SweepGrid(tr, strats, ocs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, sr := range results {
+		fmt.Printf("== strategy: %s\n", sr.Strategy)
 		fmt.Printf("%8s %12s %12s %12s %12s %12s\n",
 			"oc%", "failure", "tput-loss%", "rev-static%", "rev-prio%", "rev-alloc%")
 		incS := clustersim.RevenueIncrease(sr, "static")
@@ -74,14 +122,17 @@ func at(xs []float64, i int) float64 {
 	return 0
 }
 
-func loadTrace(path string, n int, days float64, seed int64) *trace.AzureTrace {
-	if path == "" {
-		cfg := trace.DefaultAzureConfig()
-		cfg.NumVMs = n
-		cfg.Duration = days * 86400
-		cfg.Seed = seed
-		return trace.GenerateAzure(cfg)
+func splitStrategies(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
 	}
+	return out
+}
+
+func loadCSV(path string) *trace.AzureTrace {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)

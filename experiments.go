@@ -119,6 +119,24 @@ func SweepOvercommit(tr *AzureTrace, strategy string, overcommitPcts []float64) 
 	return clustersim.Sweep(tr, strategy, overcommitPcts)
 }
 
+// SimSweepOptions tunes sweep execution (worker count, pinned baseline).
+type SimSweepOptions = clustersim.Options
+
+// SweepGrid fans a strategy × overcommitment grid out across all cores;
+// results are bit-for-bit those of a sequential sweep.
+func SweepGrid(tr *AzureTrace, strategies []string, overcommitPcts []float64, opts SimSweepOptions) ([]*SimSweepResult, error) {
+	return clustersim.SweepGrid(tr, strategies, overcommitPcts, opts)
+}
+
+// ScenarioConfig parameterises the synthetic workload generators
+// (azure, diurnal, bursty, heavytail).
+type ScenarioConfig = trace.ScenarioConfig
+
+// GenerateScenario builds a synthetic trace for a workload scenario.
+func GenerateScenario(cfg ScenarioConfig) (*AzureTrace, error) {
+	return trace.GenerateScenario(cfg)
+}
+
 // RevenueIncrease converts a sweep's revenue into Figure 22's
 // "increase in revenue %" series for one pricing scheme.
 func RevenueIncrease(sr *SimSweepResult, scheme string) []float64 {

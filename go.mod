@@ -1,0 +1,3 @@
+module vmdeflate
+
+go 1.24

@@ -99,18 +99,37 @@ type Server struct {
 	Partition int
 }
 
-// Manager is the centralized cluster manager.
+// Manager is the centralized cluster manager. All methods are safe for
+// concurrent use: every mutation and counter read happens under mu
+// (per-Host state is additionally guarded by the Host's own lock).
 type Manager struct {
 	mu         sync.Mutex
 	cfg        Config
 	servers    []*Server
 	placements map[string]*Server
 
-	// DeflationEvents counts how many times an existing VM's allocation
-	// was reduced to admit another VM.
-	DeflationEvents int
-	// Rejections counts admission-control failures.
-	Rejections int
+	// deflationEvents counts how many times an existing VM's allocation
+	// was reduced to admit another VM; rejections counts
+	// admission-control failures. Both are read through the locked
+	// accessors below — they used to be exported fields, which let
+	// callers race against PlaceVM.
+	deflationEvents int
+	rejections      int
+}
+
+// DeflationEvents returns how many times an existing VM's allocation
+// was reduced to admit another VM.
+func (m *Manager) DeflationEvents() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deflationEvents
+}
+
+// Rejections returns the number of admission-control failures.
+func (m *Manager) Rejections() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejections
 }
 
 // NewManager creates a manager with the given configuration.
@@ -258,7 +277,7 @@ func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Serv
 	if best != nil {
 		d, deflations, err := PlaceOn(best, m.cfg, dc)
 		if err == nil {
-			m.DeflationEvents += deflations
+			m.deflationEvents += deflations
 			m.placements[dc.Name] = best
 			return d, best, nil
 		}
@@ -283,12 +302,12 @@ func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Serv
 		}
 		d, deflations, err := PlaceOn(c.s, m.cfg, dc)
 		if err == nil {
-			m.DeflationEvents += deflations
+			m.deflationEvents += deflations
 			m.placements[dc.Name] = c.s
 			return d, c.s, nil
 		}
 	}
-	m.Rejections++
+	m.rejections++
 	return nil, nil, fmt.Errorf("%w: %s (size %v)", ErrNoCapacity, dc.Name, dc.Size)
 }
 

@@ -72,8 +72,8 @@ func TestPlaceWithoutDeflation(t *testing.T) {
 	if s == nil {
 		t.Fatal("nil server")
 	}
-	if m.DeflationEvents != 0 {
-		t.Errorf("deflation events = %d", m.DeflationEvents)
+	if m.DeflationEvents() != 0 {
+		t.Errorf("deflation events = %d", m.DeflationEvents())
 	}
 }
 
@@ -152,7 +152,7 @@ func TestPlaceTriggersDeflation(t *testing.T) {
 	if got := low.Allocation().Get(resources.CPU); got > 32.001 {
 		t.Errorf("deflatable VM allocation = %v, want <= 32", got)
 	}
-	if m.DeflationEvents == 0 {
+	if m.DeflationEvents() == 0 {
 		t.Error("expected a deflation event")
 	}
 	// Server never over-allocated.
@@ -191,8 +191,8 @@ func TestAdmissionControlRejects(t *testing.T) {
 	if !errors.Is(err, ErrNoCapacity) {
 		t.Fatalf("want ErrNoCapacity, got %v", err)
 	}
-	if m.Rejections != 1 {
-		t.Errorf("rejections = %d", m.Rejections)
+	if m.Rejections() != 1 {
+		t.Errorf("rejections = %d", m.Rejections())
 	}
 }
 

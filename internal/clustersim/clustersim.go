@@ -1,8 +1,32 @@
 // Package clustersim is the trace-driven discrete-event cluster
 // simulator of Section 7.1.2 (the paper's ~2,000-line Python framework),
-// re-implemented on top of the full substrate: VM records from an
-// Azure-like trace arrive and depart on their trace timestamps, are
-// placed by the cluster manager (cosine-fitness placement, Section 5.2),
+// re-implemented as a proper simulation engine on top of the full
+// substrate.
+//
+// # Architecture
+//
+// The package is layered as three cooperating pieces:
+//
+//   - events.go — the event core: a container/heap-backed pending-event
+//     queue with typed sample/departure/arrival events and a stable
+//     (time, kind, trace-index) total order. Departures are scheduled
+//     lazily when a VM is admitted and sample events reschedule
+//     themselves, so a run never materialises and sorts the whole
+//     trace's event list up front.
+//   - engine.go — the Engine: one self-contained run. It owns every
+//     piece of mutable state (cluster manager, running set, queue,
+//     metric accumulators), which makes independent runs share-nothing
+//     and therefore safe to execute concurrently.
+//   - sweep.go — the sweep layer: a worker pool that fans strategy ×
+//     overcommitment grid points (and independently seeded scenario
+//     replicates) out across GOMAXPROCS cores, producing bit-for-bit
+//     the same results as a sequential sweep because each point runs in
+//     its own Engine and all randomness is seeded per run.
+//
+// VM records from an Azure-like trace (or one of the synthetic
+// scenario generators in internal/trace: diurnal, bursty/flash-crowd,
+// heavy-tail) arrive and depart on their trace timestamps, are placed
+// by the cluster manager (cosine-fitness placement, Section 5.2),
 // deflated by the configured server-level policy and mechanism, and
 // reinflate as capacity frees. The simulator measures the three
 // cluster-level outcomes of Section 7.4:
@@ -25,11 +49,9 @@ package clustersim
 import (
 	"fmt"
 	"math"
-	"sort"
 
-	"vmdeflate/internal/cluster"
-	"vmdeflate/internal/hypervisor"
 	"vmdeflate/internal/mechanism"
+	"vmdeflate/internal/notify"
 	"vmdeflate/internal/policy"
 	"vmdeflate/internal/pricing"
 	"vmdeflate/internal/resources"
@@ -49,7 +71,8 @@ const (
 
 // Config parameterises one simulation run.
 type Config struct {
-	// Trace supplies VM arrivals, sizes, classes and utilisation.
+	// Trace supplies VM arrivals, sizes, classes and utilisation. The
+	// trace is treated as immutable: concurrent engines may share one.
 	Trace *trace.AzureTrace
 	// Mode selects deflation or the preemption baseline.
 	Mode Mode
@@ -71,6 +94,10 @@ type Config struct {
 	ServerCapacity resources.Vector
 	// PricingSchemes to meter (all three when nil).
 	PricingSchemes []pricing.Scheme
+	// Notify, when set, receives an event for every allocation change
+	// the cluster manager makes during the run. The bus is safe to
+	// share between concurrently running engines.
+	Notify *notify.Bus
 }
 
 // DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB RAM.
@@ -135,13 +162,6 @@ type Result struct {
 	// Revenue maps pricing-scheme name to total revenue from deflatable
 	// VMs (on-demand-core-hours).
 	Revenue map[string]float64
-}
-
-// event is a trace arrival or departure.
-type event struct {
-	at      float64
-	arrival bool
-	vm      *trace.VMRecord
 }
 
 // BaselineServerCount returns the paper's "minimum cluster size capable
@@ -238,202 +258,14 @@ func vmSize(vm *trace.VMRecord) resources.Vector {
 	return resources.CPUMem(float64(vm.Cores), vm.MemoryMB)
 }
 
-func buildEvents(tr *trace.AzureTrace) []event {
-	evs := make([]event, 0, 2*len(tr.VMs))
-	for _, vm := range tr.VMs {
-		evs = append(evs, event{at: vm.Start, arrival: true, vm: vm})
-		evs = append(evs, event{at: vm.End, arrival: false, vm: vm})
-	}
-	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].at != evs[j].at {
-			return evs[i].at < evs[j].at
-		}
-		// Departures before arrivals at the same instant free capacity
-		// for the newcomers.
-		return !evs[i].arrival && evs[j].arrival
-	})
-	return evs
-}
-
-// Run executes one simulation.
+// Run executes one simulation: it is shorthand for NewEngine followed
+// by Engine.Run.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.applyDefaults(); err != nil {
+	e, err := NewEngine(cfg)
+	if err != nil {
 		return nil, err
 	}
-	base := cfg.BaselineServers
-	if base <= 0 {
-		var err error
-		base, err = BaselineServerCount(cfg.Trace, cfg.ServerCapacity)
-		if err != nil {
-			return nil, err
-		}
-	}
-	nServers := int(math.Ceil(float64(base) / (1 + cfg.Overcommit)))
-	if nServers < 1 {
-		nServers = 1
-	}
-
-	if cfg.Mode == ModePreemption {
-		return runPreemption(cfg, nServers)
-	}
-	return runDeflation(cfg, nServers, base)
-}
-
-// --- deflation mode ---
-
-type vmTracking struct {
-	rec    *trace.VMRecord
-	domain *hypervisor.Domain
-	meters map[string]*pricing.Meter
-	lastT  float64
-	demand float64 // integrated demand (core-seconds)
-	lost   float64 // integrated demand above allocation
-	prio   float64
-}
-
-func runDeflation(cfg Config, nServers, baseServers int) (*Result, error) {
-	mgrCfg := cluster.Config{
-		Policy:              cfg.Policy,
-		Mechanism:           cfg.Mechanism,
-		PartitionByPriority: cfg.Partitioned,
-		PriorityLevels:      cfg.PriorityLevels,
-	}
-	mgr := cluster.NewManager(mgrCfg)
-	partitions := partitionPlan(cfg, nServers)
-	for i := 0; i < nServers; i++ {
-		if _, err := mgr.AddServer(fmt.Sprintf("node-%03d", i), cfg.ServerCapacity, partitions[i]); err != nil {
-			return nil, err
-		}
-	}
-
-	res := &Result{Servers: nServers, Revenue: map[string]float64{}}
-	running := map[string]*vmTracking{}
-	var demandTotal, lostTotal float64
-	evs := buildEvents(cfg.Trace)
-
-	// Interleave 5-minute sampling with trace events.
-	nextSample := trace.SampleInterval
-	processSamples := func(until float64) {
-		for nextSample <= until {
-			for _, vt := range running {
-				sampleVM(vt, nextSample, cfg)
-			}
-			nextSample += trace.SampleInterval
-		}
-	}
-
-	for _, e := range evs {
-		processSamples(e.at)
-		if e.arrival {
-			res.Arrivals++
-			handleArrival(cfg, mgr, res, running, e)
-			continue
-		}
-		vt, ok := running[e.vm.ID]
-		if !ok {
-			continue // was rejected at arrival
-		}
-		finishVM(vt, e.at, res)
-		demandTotal += vt.demand
-		lostTotal += vt.lost
-		delete(running, e.vm.ID)
-		if err := mgr.RemoveVM(e.vm.ID); err != nil {
-			return nil, err
-		}
-	}
-	// Close any VMs whose end coincides with trace end.
-	for _, vt := range running {
-		finishVM(vt, cfg.Trace.Duration(), res)
-		demandTotal += vt.demand
-		lostTotal += vt.lost
-	}
-
-	res.ReclamationFailures = mgr.Rejections
-	if res.ReclamationAttempts > 0 {
-		res.FailureProbability = float64(res.ReclamationFailures) / float64(res.ReclamationAttempts)
-	}
-	if demandTotal > 0 {
-		res.ThroughputLoss = lostTotal / demandTotal
-	}
-	return res, nil
-}
-
-func handleArrival(cfg Config, mgr *cluster.Manager, res *Result, running map[string]*vmTracking, e event) {
-	deflatable := e.vm.Class == trace.Interactive
-	prio := policy.PriorityFromP95(e.vm.P95(), cfg.PriorityLevels)
-	dc := hypervisor.DomainConfig{
-		Name:       e.vm.ID,
-		Size:       vmSize(e.vm),
-		Deflatable: deflatable,
-		Priority:   prio,
-	}
-	if !deflatable {
-		dc.Priority = 0
-	}
-
-	// Count reclamation attempts: would this placement need deflation?
-	needsReclaim := true
-	for _, s := range mgr.Servers() {
-		if dc.Size.FitsIn(s.Host.Capacity().Sub(s.Host.Allocated())) {
-			needsReclaim = false
-			break
-		}
-	}
-	if needsReclaim {
-		res.ReclamationAttempts++
-	}
-
-	d, _, err := mgr.PlaceVM(dc)
-	if err != nil {
-		res.Rejected++
-		return
-	}
-	res.Admitted++
-	vt := &vmTracking{rec: e.vm, domain: d, lastT: e.at, prio: prio}
-	if deflatable {
-		res.DeflatableAdmitted++
-		vt.meters = map[string]*pricing.Meter{}
-		for _, s := range cfg.PricingSchemes {
-			m := &pricing.Meter{}
-			m.Observe(e.at/3600, s.Rate(dc.Size, prio, d.Allocation()))
-			vt.meters[s.Name()] = m
-		}
-	}
-	running[e.vm.ID] = vt
-}
-
-// sampleVM accumulates demand/loss and refreshes allocation-based
-// billing at one 5-minute boundary.
-func sampleVM(vt *vmTracking, at float64, cfg Config) {
-	if !vt.domain.Deflatable() {
-		return
-	}
-	util := vt.rec.UtilAt(at)
-	maxCores := vt.domain.MaxSize().Get(resources.CPU)
-	allocCores := vt.domain.Allocation().Get(resources.CPU)
-	demand := util / 100 * maxCores * trace.SampleInterval
-	vt.demand += demand
-	if over := util/100*maxCores - allocCores; over > 0 {
-		vt.lost += over * trace.SampleInterval
-	}
-	for name, m := range vt.meters {
-		var rate float64
-		switch name {
-		case "static":
-			rate = 0.2 * maxCores
-		case "priority":
-			rate = vt.prio * maxCores
-		case "allocation":
-			rate = 0.2 * allocCores
-		}
-		m.Observe(at/3600, rate)
-	}
-}
-
-func finishVM(vt *vmTracking, at float64, res *Result) {
-	for name, m := range vt.meters {
-		res.Revenue[name] += m.Close(at / 3600)
-	}
+	return e.Run()
 }
 
 // partitionPlan assigns servers to priority pools proportionally to the

@@ -1,0 +1,250 @@
+package clustersim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vmdeflate/internal/cluster"
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/pricing"
+	"vmdeflate/internal/resources"
+	"vmdeflate/internal/trace"
+)
+
+// vmTracking is the engine's per-VM accounting record.
+type vmTracking struct {
+	rec    *trace.VMRecord
+	domain *hypervisor.Domain
+	meters map[string]*pricing.Meter
+	lastT  float64
+	demand float64 // integrated demand (core-seconds)
+	lost   float64 // integrated demand above allocation
+	prio   float64
+}
+
+// Engine executes one simulation run. It owns every piece of mutable
+// run state — the cluster manager, the pending-event queue, the running
+// set and all metric accumulators — so concurrently executing engines
+// share nothing (a shared *trace.AzureTrace is read-only) and a sweep
+// worker pool can run one engine per grid point without coordination.
+//
+// An Engine is single-use: NewEngine builds it, Run consumes it.
+type Engine struct {
+	cfg      Config
+	nServers int
+
+	// Deflation-mode state.
+	mgr     *cluster.Manager
+	queue   *eventQueue
+	running map[string]*vmTracking
+	res     *Result
+	horizon float64
+
+	demandTotal float64
+	lostTotal   float64
+}
+
+// NewEngine validates cfg, resolves the baseline cluster size and
+// prepares a run. The expensive BaselineServerCount bound is computed
+// here (once) unless cfg.BaselineServers pins it, which sweeps do so
+// that every grid point sees an identically sized cluster.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	base := cfg.BaselineServers
+	if base <= 0 {
+		var err error
+		base, err = BaselineServerCount(cfg.Trace, cfg.ServerCapacity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nServers := int(math.Ceil(float64(base) / (1 + cfg.Overcommit)))
+	if nServers < 1 {
+		nServers = 1
+	}
+	return &Engine{cfg: cfg, nServers: nServers}, nil
+}
+
+// Run executes the simulation and returns its metrics.
+func (e *Engine) Run() (*Result, error) {
+	if e.cfg.Mode == ModePreemption {
+		return e.runPreemption()
+	}
+	return e.runDeflation()
+}
+
+// runDeflation drives the deflation-mode event loop: arrivals are
+// placed (deflating residents when needed), departures reinflate
+// survivors, and self-rescheduling sample events meter demand, loss and
+// revenue every trace.SampleInterval. At equal timestamps the queue
+// delivers samples, then departures, then arrivals (see eventKind).
+func (e *Engine) runDeflation() (*Result, error) {
+	cfg := e.cfg
+	mgrCfg := cluster.Config{
+		Policy:              cfg.Policy,
+		Mechanism:           cfg.Mechanism,
+		PartitionByPriority: cfg.Partitioned,
+		PriorityLevels:      cfg.PriorityLevels,
+		Notify:              cfg.Notify,
+	}
+	e.mgr = cluster.NewManager(mgrCfg)
+	partitions := partitionPlan(cfg, e.nServers)
+	for i := 0; i < e.nServers; i++ {
+		if _, err := e.mgr.AddServer(fmt.Sprintf("node-%03d", i), cfg.ServerCapacity, partitions[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	e.res = &Result{Servers: e.nServers, Revenue: map[string]float64{}}
+	e.running = map[string]*vmTracking{}
+	e.queue = newArrivalQueue(cfg.Trace)
+	e.horizon = cfg.Trace.Duration()
+	if trace.SampleInterval <= e.horizon {
+		e.queue.push(simEvent{at: trace.SampleInterval, kind: evSample})
+	}
+
+	for !e.queue.empty() {
+		ev := e.queue.pop()
+		switch ev.kind {
+		case evSample:
+			for _, vt := range e.running {
+				sampleVM(vt, ev.at, cfg)
+			}
+			if next := ev.at + trace.SampleInterval; next <= e.horizon {
+				e.queue.push(simEvent{at: next, kind: evSample})
+			}
+		case evArrival:
+			e.res.Arrivals++
+			e.handleArrival(ev)
+		case evDeparture:
+			// Departures are scheduled only on admission and a VM
+			// leaves the running set only here, so the lookup cannot
+			// miss; it stays as a guard against future schedulers
+			// (e.g. preemption-style early removal) rather than a
+			// crash.
+			vt, ok := e.running[ev.vm.ID]
+			if !ok {
+				continue
+			}
+			e.closeVM(vt, ev.at)
+			delete(e.running, ev.vm.ID)
+			if err := e.mgr.RemoveVM(ev.vm.ID); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Defensively close any VM that somehow outlived its departure
+	// event, in sorted order so accumulator arithmetic stays
+	// deterministic.
+	ids := make([]string, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e.closeVM(e.running[id], e.horizon)
+	}
+
+	e.res.ReclamationFailures = e.mgr.Rejections()
+	if e.res.ReclamationAttempts > 0 {
+		e.res.FailureProbability = float64(e.res.ReclamationFailures) / float64(e.res.ReclamationAttempts)
+	}
+	if e.demandTotal > 0 {
+		e.res.ThroughputLoss = e.lostTotal / e.demandTotal
+	}
+	return e.res, nil
+}
+
+// closeVM settles a VM's meters and folds its demand integrals into the
+// run accumulators.
+func (e *Engine) closeVM(vt *vmTracking, at float64) {
+	finishVM(vt, at, e.res)
+	e.demandTotal += vt.demand
+	e.lostTotal += vt.lost
+}
+
+// handleArrival admits one VM, scheduling its departure only if the
+// placement succeeds (rejected VMs leave no residue in the queue).
+func (e *Engine) handleArrival(ev simEvent) {
+	cfg, vm := e.cfg, ev.vm
+	deflatable := vm.Class == trace.Interactive
+	prio := policy.PriorityFromP95(vm.P95(), cfg.PriorityLevels)
+	dc := hypervisor.DomainConfig{
+		Name:       vm.ID,
+		Size:       vmSize(vm),
+		Deflatable: deflatable,
+		Priority:   prio,
+	}
+	if !deflatable {
+		dc.Priority = 0
+	}
+
+	// Count reclamation attempts: would this placement need deflation?
+	needsReclaim := true
+	for _, s := range e.mgr.Servers() {
+		if dc.Size.FitsIn(s.Host.Capacity().Sub(s.Host.Allocated())) {
+			needsReclaim = false
+			break
+		}
+	}
+	if needsReclaim {
+		e.res.ReclamationAttempts++
+	}
+
+	d, _, err := e.mgr.PlaceVM(dc)
+	if err != nil {
+		e.res.Rejected++
+		return
+	}
+	e.res.Admitted++
+	vt := &vmTracking{rec: vm, domain: d, lastT: ev.at, prio: prio}
+	if deflatable {
+		e.res.DeflatableAdmitted++
+		vt.meters = map[string]*pricing.Meter{}
+		for _, s := range cfg.PricingSchemes {
+			m := &pricing.Meter{}
+			m.Observe(ev.at/3600, s.Rate(dc.Size, prio, d.Allocation()))
+			vt.meters[s.Name()] = m
+		}
+	}
+	e.running[vm.ID] = vt
+	e.queue.push(simEvent{at: vm.End, kind: evDeparture, vm: vm, seq: ev.seq})
+}
+
+// sampleVM accumulates demand/loss and refreshes allocation-based
+// billing at one 5-minute boundary.
+func sampleVM(vt *vmTracking, at float64, cfg Config) {
+	if !vt.domain.Deflatable() {
+		return
+	}
+	util := vt.rec.UtilAt(at)
+	maxCores := vt.domain.MaxSize().Get(resources.CPU)
+	allocCores := vt.domain.Allocation().Get(resources.CPU)
+	demand := util / 100 * maxCores * trace.SampleInterval
+	vt.demand += demand
+	if over := util/100*maxCores - allocCores; over > 0 {
+		vt.lost += over * trace.SampleInterval
+	}
+	for name, m := range vt.meters {
+		var rate float64
+		switch name {
+		case "static":
+			rate = 0.2 * maxCores
+		case "priority":
+			rate = vt.prio * maxCores
+		case "allocation":
+			rate = 0.2 * allocCores
+		}
+		m.Observe(at/3600, rate)
+	}
+}
+
+func finishVM(vt *vmTracking, at float64, res *Result) {
+	for name, m := range vt.meters {
+		res.Revenue[name] += m.Close(at / 3600)
+	}
+}

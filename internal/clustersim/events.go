@@ -1,0 +1,135 @@
+package clustersim
+
+import (
+	"container/heap"
+	"sort"
+
+	"vmdeflate/internal/trace"
+)
+
+// eventKind orders simultaneous events. Samples fire first so metering
+// observes the population as it stood through the preceding interval;
+// departures precede arrivals so freed capacity is visible to newcomers
+// at the same instant (the invariant the old slice-based replay encoded
+// in its sort comparator).
+type eventKind int
+
+const (
+	evSample eventKind = iota
+	evDeparture
+	evArrival
+)
+
+// String names the kind for test failure messages.
+func (k eventKind) String() string {
+	switch k {
+	case evSample:
+		return "sample"
+	case evDeparture:
+		return "departure"
+	case evArrival:
+		return "arrival"
+	default:
+		return "eventKind(?)"
+	}
+}
+
+// simEvent is one scheduled simulation event. vm is nil for samples.
+type simEvent struct {
+	at   float64
+	kind eventKind
+	vm   *trace.VMRecord
+	// seq breaks ties among equal (at, kind) pairs. Arrival and
+	// departure events carry the VM's trace index so simultaneous events
+	// replay in trace order — the same total order the previous
+	// implementation obtained from a stable sort over the trace slice,
+	// which keeps refactored runs bit-for-bit comparable.
+	seq int
+}
+
+// eventQueue is a container/heap-backed pending-event set. Unlike the
+// old approach — materialise 2N events in one slice and sort it per run
+// — the queue admits lazily scheduled events (departures are only
+// scheduled for VMs that were actually admitted, samples reschedule
+// themselves), so a run's live set stays proportional to the pending
+// horizon rather than the whole trace.
+type eventQueue struct {
+	evs []simEvent
+}
+
+// Len, Less, Swap, Push and Pop implement heap.Interface; the ordering
+// is (time, kind, seq) with the kind ranking documented on eventKind.
+func (q *eventQueue) Len() int { return len(q.evs) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.evs[i], q.evs[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.evs[i], q.evs[j] = q.evs[j], q.evs[i] }
+
+func (q *eventQueue) Push(x any) { q.evs = append(q.evs, x.(simEvent)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.evs
+	n := len(old)
+	e := old[n-1]
+	q.evs = old[:n-1]
+	return e
+}
+
+// push schedules an event.
+func (q *eventQueue) push(e simEvent) { heap.Push(q, e) }
+
+// pop removes and returns the next event in (time, kind, seq) order.
+func (q *eventQueue) pop() simEvent { return heap.Pop(q).(simEvent) }
+
+// empty reports whether any events remain.
+func (q *eventQueue) empty() bool { return len(q.evs) == 0 }
+
+// newArrivalQueue seeds a queue with one arrival per trace VM. Departure
+// events are scheduled by the engine when (and only when) a VM is
+// admitted, and the first sample event is scheduled by the run loop.
+func newArrivalQueue(tr *trace.AzureTrace) *eventQueue {
+	q := &eventQueue{evs: make([]simEvent, 0, len(tr.VMs))}
+	for i, vm := range tr.VMs {
+		q.evs = append(q.evs, simEvent{at: vm.Start, kind: evArrival, vm: vm, seq: i})
+	}
+	heap.Init(q)
+	return q
+}
+
+// event is a flattened arrival/departure pair, used by the feasibility
+// replays (BaselineServerCount) that scan the same trace many times and
+// therefore want one sorted slice rather than a consumable queue.
+type event struct {
+	at      float64
+	arrival bool
+	vm      *trace.VMRecord
+}
+
+// buildEvents materialises and sorts the full arrival/departure
+// sequence. Simulation runs use eventQueue instead; this remains for
+// the multi-pass feasibility bound and the partition planner.
+func buildEvents(tr *trace.AzureTrace) []event {
+	evs := make([]event, 0, 2*len(tr.VMs))
+	for _, vm := range tr.VMs {
+		evs = append(evs, event{at: vm.Start, arrival: true, vm: vm})
+		evs = append(evs, event{at: vm.End, arrival: false, vm: vm})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		// Departures before arrivals at the same instant free capacity
+		// for the newcomers.
+		return !evs[i].arrival && evs[j].arrival
+	})
+	return evs
+}

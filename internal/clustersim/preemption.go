@@ -23,13 +23,19 @@ type pVM struct {
 // until it fits. Low-priority arrivals that do not fit are rejected. The
 // Figure 20 baseline metric is the probability that an admitted
 // low-priority VM is preempted before its natural departure.
-func runPreemption(cfg Config, nServers int) (*Result, error) {
-	free := make([]resources.Vector, nServers)
+//
+// The baseline drives the same lazily scheduled event queue as the
+// deflation engine: departures enter the queue only for admitted VMs,
+// and a preempted VM's stale departure event is ignored because the VM
+// is no longer in the running set.
+func (e *Engine) runPreemption() (*Result, error) {
+	cfg := e.cfg
+	free := make([]resources.Vector, e.nServers)
 	for i := range free {
 		free[i] = cfg.ServerCapacity
 	}
 	running := map[string]*pVM{}
-	res := &Result{Servers: nServers, Revenue: map[string]float64{}}
+	res := &Result{Servers: e.nServers, Revenue: map[string]float64{}}
 	var demandTotal, lostTotal float64
 
 	place := func(vm *pVM) bool {
@@ -101,42 +107,47 @@ func runPreemption(cfg Config, nServers int) (*Result, error) {
 		return best
 	}
 
-	evs := buildEvents(cfg.Trace)
-	for _, e := range evs {
-		if !e.arrival {
-			vm, ok := running[e.vm.ID]
+	queue := newArrivalQueue(cfg.Trace)
+	for !queue.empty() {
+		ev := queue.pop()
+		if ev.kind == evDeparture {
+			vm, ok := running[ev.vm.ID]
 			if !ok {
-				continue // rejected or already preempted
+				continue // already preempted
 			}
 			free[vm.server] = free[vm.server].Add(vm.size)
-			delete(running, e.vm.ID)
+			delete(running, ev.vm.ID)
 			continue
 		}
 		res.Arrivals++
 		vm := &pVM{
-			rec:    e.vm,
-			size:   vmSize(e.vm),
-			lowPri: e.vm.Class == trace.Interactive,
-			prio:   policy.PriorityFromP95(e.vm.P95(), cfg.PriorityLevels),
+			rec:    ev.vm,
+			size:   vmSize(ev.vm),
+			lowPri: ev.vm.Class == trace.Interactive,
+			prio:   policy.PriorityFromP95(ev.vm.P95(), cfg.PriorityLevels),
 		}
 		if vm.lowPri {
 			// Total low-priority demand, for the throughput-loss ratio.
-			demandTotal += remainingDemand(e.vm, e.vm.Start)
+			demandTotal += remainingDemand(ev.vm, ev.vm.Start)
+		}
+		admit := func() {
+			running[ev.vm.ID] = vm
+			queue.push(simEvent{at: ev.vm.End, kind: evDeparture, vm: ev.vm, seq: ev.seq})
 		}
 		if place(vm) {
 			res.Admitted++
 			if vm.lowPri {
 				res.DeflatableAdmitted++
 			}
-			running[e.vm.ID] = vm
+			admit()
 			continue
 		}
 		if !vm.lowPri {
 			// On-demand pressure: reclaim by preemption.
 			res.ReclamationAttempts++
-			if s := bestEvictionServer(vm.size); s >= 0 && evict(vm.size, s, e.at) && place(vm) {
+			if s := bestEvictionServer(vm.size); s >= 0 && evict(vm.size, s, ev.at) && place(vm) {
 				res.Admitted++
-				running[e.vm.ID] = vm
+				admit()
 				continue
 			}
 			res.ReclamationFailures++

@@ -1,7 +1,14 @@
 package clustersim
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
 	"vmdeflate/internal/mechanism"
+	"vmdeflate/internal/notify"
 	"vmdeflate/internal/policy"
 	"vmdeflate/internal/trace"
 )
@@ -30,6 +37,34 @@ const (
 	StrategyPreemption    = "preemption"
 )
 
+// Strategies lists all sweep strategies in canonical order.
+var Strategies = []string{
+	StrategyProportional,
+	StrategyPriority,
+	StrategyDeterministic,
+	StrategyPartitioned,
+	StrategyPreemption,
+}
+
+// validateStrategies rejects unknown strategy names up front: before
+// this check an unrecognised name fell through strategyConfig's switch
+// and silently simulated proportional deflation.
+func validateStrategies(strategies []string) error {
+	for _, s := range strategies {
+		ok := false
+		for _, known := range Strategies {
+			if s == known {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("clustersim: unknown strategy %q (want %s)", s, strings.Join(Strategies, ", "))
+		}
+	}
+	return nil
+}
+
 // strategyConfig builds the Config for one named strategy.
 func strategyConfig(tr *trace.AzureTrace, strategy string, baseline int, oc float64) Config {
 	cfg := Config{
@@ -54,30 +89,252 @@ func strategyConfig(tr *trace.AzureTrace, strategy string, baseline int, oc floa
 	return cfg
 }
 
-// Sweep runs one strategy across the given overcommitment percentages
-// (Figure 20/21/22 x-axis, e.g. 0-70%). The baseline cluster size is
-// computed once from the trace so all strategies see identical clusters.
-func Sweep(tr *trace.AzureTrace, strategy string, overcommitPcts []float64) (*SweepResult, error) {
-	baseline, err := BaselineServerCount(tr, DefaultServerCapacity())
-	if err != nil {
+// Options tunes how a sweep executes. The zero value runs on all cores
+// with everything derived from the trace.
+type Options struct {
+	// Workers bounds worker-pool concurrency: 0 means GOMAXPROCS, 1
+	// forces a strictly sequential sweep. Because every grid point runs
+	// in its own share-nothing Engine and results land in
+	// position-indexed slots, the worker count never changes the
+	// output — only the wall clock.
+	Workers int
+	// BaselineServers pins the no-overcommitment cluster size; when 0
+	// it is computed once from the trace so that every grid point sees
+	// an identically sized cluster.
+	BaselineServers int
+	// Notify, when set, is attached to every run's cluster manager. The
+	// bus fans out concurrently from all workers; subscribers must be
+	// thread-safe.
+	Notify *notify.Bus
+}
+
+func (o Options) workers(jobs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runJobs executes job(0..n-1) on a pool of workers. Each job must
+// write only to its own result slot; with that discipline the schedule
+// cannot influence the output.
+func runJobs(n, workers int, job func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstError returns the lowest-indexed non-nil error, so the reported
+// failure is independent of worker scheduling.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepGrid runs every strategy × overcommitment point of the grid on a
+// worker pool and returns one SweepResult per strategy, in input order.
+// The baseline cluster size is computed once from the trace so all
+// points see identical clusters, each point runs in its own Engine, and
+// results are written into position-indexed slots — so the output is
+// bit-for-bit identical whether Workers is 1 or GOMAXPROCS.
+func SweepGrid(tr *trace.AzureTrace, strategies []string, overcommitPcts []float64, opts Options) ([]*SweepResult, error) {
+	if len(strategies) == 0 || len(overcommitPcts) == 0 {
+		return nil, fmt.Errorf("clustersim: empty sweep grid")
+	}
+	if err := validateStrategies(strategies); err != nil {
 		return nil, err
 	}
-	out := &SweepResult{Strategy: strategy}
-	for _, pct := range overcommitPcts {
-		cfg := strategyConfig(tr, strategy, baseline, pct/100)
-		res, err := Run(cfg)
+	baseline := opts.BaselineServers
+	if baseline <= 0 {
+		var err error
+		baseline, err = BaselineServerCount(tr, DefaultServerCapacity())
 		if err != nil {
 			return nil, err
 		}
-		out.Points = append(out.Points, SweepPoint{
+	}
+
+	nOC := len(overcommitPcts)
+	jobs := len(strategies) * nOC
+	points := make([]SweepPoint, jobs)
+	errs := make([]error, jobs)
+	runJobs(jobs, opts.workers(jobs), func(i int) {
+		strategy, pct := strategies[i/nOC], overcommitPcts[i%nOC]
+		cfg := strategyConfig(tr, strategy, baseline, pct/100)
+		cfg.Notify = opts.Notify
+		res, err := Run(cfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("clustersim: %s @ %g%% OC: %w", strategy, pct, err)
+			return
+		}
+		points[i] = SweepPoint{
 			OvercommitPct:      pct,
 			FailureProbability: res.FailureProbability,
 			ThroughputLossPct:  res.ThroughputLoss * 100,
 			Revenue:            res.Revenue,
 			Servers:            res.Servers,
-		})
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	out := make([]*SweepResult, len(strategies))
+	for si, strategy := range strategies {
+		// Full slice expression: capping capacity keeps a caller's
+		// append from bleeding into the next strategy's points.
+		out[si] = &SweepResult{Strategy: strategy, Points: points[si*nOC : (si+1)*nOC : (si+1)*nOC]}
 	}
 	return out, nil
+}
+
+// Sweep runs one strategy across the given overcommitment percentages
+// (Figure 20/21/22 x-axis, e.g. 0-70%) strictly sequentially. It is the
+// single-strategy, Workers=1 special case of SweepGrid.
+func Sweep(tr *trace.AzureTrace, strategy string, overcommitPcts []float64) (*SweepResult, error) {
+	out, err := SweepGrid(tr, []string{strategy}, overcommitPcts, Options{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// ReplicatedSweep fans a strategy × overcommitment grid out over
+// independently generated traces, one per seed: each replicate's trace
+// is synthesised inside the worker with its own seeded RNG (gen must be
+// a pure function of the seed, e.g. a trace.Scenario generator), its
+// baseline cluster size is derived from its own trace, and then all
+// replicate × strategy × overcommitment points run on the pool. The
+// result is indexed [replicate][strategy] and is bit-for-bit
+// reproducible for a given seed list regardless of worker count.
+func ReplicatedSweep(gen func(seed int64) *trace.AzureTrace, seeds []int64, strategies []string, overcommitPcts []float64, opts Options) ([][]*SweepResult, error) {
+	if gen == nil || len(seeds) == 0 {
+		return nil, fmt.Errorf("clustersim: replicated sweep needs a generator and seeds")
+	}
+	if len(strategies) == 0 || len(overcommitPcts) == 0 {
+		return nil, fmt.Errorf("clustersim: empty sweep grid")
+	}
+	if err := validateStrategies(strategies); err != nil {
+		return nil, err
+	}
+
+	// Phase 1 (parallel over replicates): per-run RNG trace generation
+	// plus the expensive baseline bound, both deterministic per seed.
+	traces := make([]*trace.AzureTrace, len(seeds))
+	baselines := make([]int, len(seeds))
+	errs := make([]error, len(seeds))
+	runJobs(len(seeds), opts.workers(len(seeds)), func(r int) {
+		traces[r] = gen(seeds[r])
+		base, err := BaselineServerCount(traces[r], DefaultServerCapacity())
+		if err != nil {
+			errs[r] = fmt.Errorf("clustersim: replicate seed %d: %w", seeds[r], err)
+			return
+		}
+		baselines[r] = base
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Phase 2 (parallel over everything): the full point grid.
+	nOC := len(overcommitPcts)
+	perRep := len(strategies) * nOC
+	jobs := len(seeds) * perRep
+	points := make([]SweepPoint, jobs)
+	errs = make([]error, jobs)
+	runJobs(jobs, opts.workers(jobs), func(i int) {
+		r, rest := i/perRep, i%perRep
+		strategy, pct := strategies[rest/nOC], overcommitPcts[rest%nOC]
+		cfg := strategyConfig(traces[r], strategy, baselines[r], pct/100)
+		cfg.Notify = opts.Notify
+		res, err := Run(cfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("clustersim: seed %d %s @ %g%% OC: %w", seeds[r], strategy, pct, err)
+			return
+		}
+		points[i] = SweepPoint{
+			OvercommitPct:      pct,
+			FailureProbability: res.FailureProbability,
+			ThroughputLossPct:  res.ThroughputLoss * 100,
+			Revenue:            res.Revenue,
+			Servers:            res.Servers,
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	out := make([][]*SweepResult, len(seeds))
+	for r := range seeds {
+		out[r] = make([]*SweepResult, len(strategies))
+		for si, strategy := range strategies {
+			lo := r*perRep + si*nOC
+			out[r][si] = &SweepResult{Strategy: strategy, Points: points[lo : lo+nOC : lo+nOC]}
+		}
+	}
+	return out, nil
+}
+
+// AverageSweeps reduces per-replicate sweeps (as returned by
+// ReplicatedSweep) to their pointwise mean, for plotting a scenario's
+// expected curve with seed noise averaged out. Server counts are
+// rounded to the nearest integer.
+func AverageSweeps(reps [][]*SweepResult) []*SweepResult {
+	if len(reps) == 0 {
+		return nil
+	}
+	n := float64(len(reps))
+	out := make([]*SweepResult, len(reps[0]))
+	for si, first := range reps[0] {
+		avg := &SweepResult{Strategy: first.Strategy, Points: make([]SweepPoint, len(first.Points))}
+		for pi, p := range first.Points {
+			acc := SweepPoint{OvercommitPct: p.OvercommitPct, Revenue: map[string]float64{}}
+			var servers float64
+			for _, rep := range reps {
+				q := rep[si].Points[pi]
+				acc.FailureProbability += q.FailureProbability / n
+				acc.ThroughputLossPct += q.ThroughputLossPct / n
+				servers += float64(q.Servers) / n
+				for name, v := range q.Revenue {
+					acc.Revenue[name] += v / n
+				}
+			}
+			acc.Servers = int(servers + 0.5)
+			avg.Points[pi] = acc
+		}
+		out[si] = avg
+	}
+	return out
 }
 
 // RevenueIncrease converts a sweep's revenue series into Figure 22's

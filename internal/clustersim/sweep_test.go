@@ -1,0 +1,151 @@
+package clustersim
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"vmdeflate/internal/notify"
+	"vmdeflate/internal/trace"
+)
+
+// TestSweepGridParallelMatchesSequential is the determinism guard for
+// the worker-pool refactor: the same grid run strictly sequentially and
+// on a parallel pool must produce identical SweepResult values, down to
+// the last float bit.
+func TestSweepGridParallelMatchesSequential(t *testing.T) {
+	tr := testTrace(250)
+	strategies := []string{StrategyProportional, StrategyPriority, StrategyPreemption}
+	ocs := []float64{0, 30, 60}
+
+	seq, err := SweepGrid(tr, strategies, ocs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepGrid(tr, strategies, ocs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel sweep diverged from sequential:\nseq: %+v\npar: %+v", dump(seq), dump(par))
+	}
+	// And a second parallel pass must reproduce itself (no hidden
+	// global state across runs).
+	par2, err := SweepGrid(tr, strategies, ocs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, par2) {
+		t.Fatal("repeated parallel sweep is not reproducible")
+	}
+}
+
+func dump(rs []*SweepResult) []SweepResult {
+	out := make([]SweepResult, len(rs))
+	for i, r := range rs {
+		out[i] = *r
+	}
+	return out
+}
+
+// TestSweepMatchesGrid keeps the legacy single-strategy entry point and
+// the grid runner in lockstep.
+func TestSweepMatchesGrid(t *testing.T) {
+	tr := testTrace(200)
+	ocs := []float64{0, 40}
+	single, err := Sweep(tr, StrategyDeterministic, ocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := SweepGrid(tr, []string{StrategyDeterministic}, ocs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(single, grid[0]) {
+		t.Fatalf("Sweep and SweepGrid disagree:\n%+v\n%+v", *single, *grid[0])
+	}
+}
+
+func TestSweepGridValidation(t *testing.T) {
+	tr := testTrace(50)
+	if _, err := SweepGrid(tr, nil, []float64{0}, Options{}); err == nil {
+		t.Error("empty strategy list should fail")
+	}
+	if _, err := SweepGrid(tr, []string{StrategyProportional}, nil, Options{}); err == nil {
+		t.Error("empty overcommit list should fail")
+	}
+	if _, err := SweepGrid(tr, []string{"bogus"}, []float64{0}, Options{}); err == nil {
+		t.Error("unknown strategy should fail instead of silently simulating proportional")
+	}
+}
+
+// TestReplicatedSweepDeterministic checks that scenario replicates —
+// whose traces are generated inside the workers from per-run seeds —
+// are bit-for-bit reproducible regardless of worker count.
+func TestReplicatedSweepDeterministic(t *testing.T) {
+	gen := func(seed int64) *trace.AzureTrace {
+		tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+			Kind: trace.ScenarioBursty, NumVMs: 150, Duration: 86400, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	seeds := []int64{1, 2}
+	strategies := []string{StrategyProportional}
+	ocs := []float64{20, 50}
+
+	seq, err := ReplicatedSweep(gen, seeds, strategies, ocs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReplicatedSweep(gen, seeds, strategies, ocs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("replicated sweep diverged between sequential and parallel execution")
+	}
+	if len(par) != len(seeds) || len(par[0]) != len(strategies) {
+		t.Fatalf("result shape = %dx%d, want %dx%d", len(par), len(par[0]), len(seeds), len(strategies))
+	}
+	// Different seeds must actually produce different workloads.
+	if reflect.DeepEqual(par[0], par[1]) {
+		t.Error("distinct replicate seeds produced identical sweeps")
+	}
+
+	avg := AverageSweeps(par)
+	if len(avg) != len(strategies) || len(avg[0].Points) != len(ocs) {
+		t.Fatalf("average shape = %+v", avg)
+	}
+	for pi := range ocs {
+		want := (par[0][0].Points[pi].FailureProbability + par[1][0].Points[pi].FailureProbability) / 2
+		got := avg[0].Points[pi].FailureProbability
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("point %d mean failure prob = %v, want %v", pi, got, want)
+		}
+	}
+}
+
+// TestConcurrentEnginesSharedBus runs a parallel grid whose engines all
+// publish allocation changes to one shared notify.Bus — the
+// race-detector target for the bus fan-out path (run via `go test
+// -race`).
+func TestConcurrentEnginesSharedBus(t *testing.T) {
+	tr := testTrace(200)
+	bus := &notify.Bus{}
+	var events atomic.Int64
+	defer bus.Subscribe(func(notify.Event) { events.Add(1) })()
+
+	strategies := []string{StrategyProportional, StrategyPriority, StrategyDeterministic}
+	if _, err := SweepGrid(tr, strategies, []float64{50, 70}, Options{Workers: 6, Notify: bus}); err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() == 0 {
+		t.Error("no allocation-change events reached the shared bus")
+	}
+	if bus.Delivered() != int(events.Load()) {
+		t.Errorf("bus delivered %d, subscriber saw %d", bus.Delivered(), events.Load())
+	}
+}

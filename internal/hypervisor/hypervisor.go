@@ -110,6 +110,13 @@ type Host struct {
 	cgroups *cgroups.Hierarchy
 	mu      sync.Mutex
 	domains map[string]*Domain
+	// order holds the domains sorted by name. Keeping it materialised
+	// (rather than sorting in Domains()) makes the aggregate walks below
+	// iterate in a fixed order, which keeps float summations like
+	// Allocated() bit-for-bit reproducible — map iteration order would
+	// perturb the low bits run to run and break the simulator's
+	// determinism guarantee.
+	order []*Domain
 }
 
 // NewHost boots a hypervisor on a server with the given capacity.
@@ -168,6 +175,10 @@ func (h *Host) Define(cfg DomainConfig) (*Domain, error) {
 		cg:    cg,
 	}
 	h.domains[cfg.Name] = d
+	i := sort.Search(len(h.order), func(i int) bool { return h.order[i].cfg.Name >= cfg.Name })
+	h.order = append(h.order, nil)
+	copy(h.order[i+1:], h.order[i:])
+	h.order[i] = d
 	return d, nil
 }
 
@@ -186,11 +197,8 @@ func (h *Host) Lookup(name string) (*Domain, error) {
 func (h *Host) Domains() []*Domain {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make([]*Domain, 0, len(h.domains))
-	for _, d := range h.domains {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Name < out[j].cfg.Name })
+	out := make([]*Domain, len(h.order))
+	copy(out, h.order)
 	return out
 }
 
@@ -210,6 +218,8 @@ func (h *Host) Undefine(name string) error {
 	}
 	h.cgroups.Remove(d.cg.Name())
 	delete(h.domains, name)
+	i := sort.Search(len(h.order), func(i int) bool { return h.order[i].cfg.Name >= name })
+	h.order = append(h.order[:i], h.order[i+1:]...)
 	return nil
 }
 
@@ -219,7 +229,7 @@ func (h *Host) Committed() resources.Vector {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var sum resources.Vector
-	for _, d := range h.domains {
+	for _, d := range h.order {
 		sum = sum.Add(d.cfg.Size)
 	}
 	return sum
@@ -231,7 +241,9 @@ func (h *Host) Allocated() resources.Vector {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var sum resources.Vector
-	for _, d := range h.domains {
+	// Name order, not map order: deflated allocations are fractional, so
+	// the summation order must be fixed for reproducible low bits.
+	for _, d := range h.order {
 		if d.State() == Running {
 			sum = sum.Add(d.Allocation())
 		}
