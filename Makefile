@@ -1,10 +1,11 @@
 # Developer/CI entry points. `make ci` is what the GitHub Actions
-# workflow runs: vet, race-enabled tests, and a one-shot smoke of the
-# parallel sweep benchmark.
+# workflow runs: vet, race-enabled tests, a one-shot smoke of the
+# parallel sweep benchmark, and the 50k-VM capacity-index scale smoke
+# (whose BENCH_scale.json report CI archives as a build artifact).
 
 GO ?= go
 
-.PHONY: build test vet race bench-smoke bench ci
+.PHONY: build test vet race bench-smoke bench-scale bench ci
 
 build:
 	$(GO) build ./...
@@ -23,8 +24,14 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Sweep10k' -benchtime 1x .
 
+# Cloud-scale single-run smoke: one 50k-VM deflation run through the
+# capacity-indexed manager, reported to BENCH_scale.json so the perf
+# trajectory is tracked PR-over-PR.
+bench-scale:
+	$(GO) run ./cmd/benchreport -scale 50000 -scaleout BENCH_scale.json
+
 # The full reproduction benchmark suite (all figures).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-ci: build vet race bench-smoke
+ci: build vet race bench-smoke bench-scale

@@ -431,6 +431,88 @@ func BenchmarkSweep10kSequential(b *testing.B) { sweepGridBench(b, 1) }
 // than sequential.
 func BenchmarkSweep10kParallel(b *testing.B) { sweepGridBench(b, 0) }
 
+// BenchmarkDeflationRun10k measures ONE deflation-mode run — the unit
+// the capacity index accelerates — at 10k VMs and 50% overcommitment.
+// The PR 1 baseline for this run shape was ~4.3 s; the indexed manager
+// must hold a >= 5x improvement.
+func BenchmarkDeflationRun10k(b *testing.B) {
+	tr, base := sweepFixture(b)
+	b.ResetTimer()
+	var fail float64
+	for i := 0; i < b.N; i++ {
+		res, err := clustersim.Run(clustersim.Config{
+			Trace: tr, Overcommit: 0.5, BaselineServers: base,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fail = res.FailureProbability
+	}
+	b.ReportMetric(fail, "failprob@50%OC")
+}
+
+// BenchmarkDeflationRunReference10k is the identical run through the
+// retained brute-force reference path: the indexed/reference ratio is
+// the capacity index's direct speedup, with every other PR change held
+// constant.
+func BenchmarkDeflationRunReference10k(b *testing.B) {
+	tr, base := sweepFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clustersim.Run(clustersim.Config{
+			Trace: tr, Overcommit: 0.5, BaselineServers: base, ReferencePlacement: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// 100k fixture: a heavy-tail trace at the cloud-scale target, sized by
+// the cheap peak-demand bound (the packing replay of the full baseline
+// bound would dwarf the run being measured).
+var (
+	hundredKOnce sync.Once
+	hundredKTr   *trace.AzureTrace
+	hundredKBase int
+)
+
+func hundredKFixture(b *testing.B) (*trace.AzureTrace, int) {
+	b.Helper()
+	hundredKOnce.Do(func() {
+		tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+			Kind: trace.ScenarioHeavyTail, NumVMs: 100000, Duration: 3 * 86400, Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		hundredKTr = tr
+		n, err := clustersim.PeakServerLowerBound(tr, clustersim.DefaultServerCapacity())
+		if err != nil {
+			panic(err)
+		}
+		hundredKBase = n
+	})
+	return hundredKTr, hundredKBase
+}
+
+// BenchmarkDeflationRun100k is the cloud-scale single-run target the
+// capacity index exists for: 100k VMs in one trace, one engine.
+func BenchmarkDeflationRun100k(b *testing.B) {
+	tr, base := hundredKFixture(b)
+	b.ResetTimer()
+	var admitted int
+	for i := 0; i < b.N; i++ {
+		res, err := clustersim.Run(clustersim.Config{
+			Trace: tr, Overcommit: 0.5, BaselineServers: base,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		admitted = res.Admitted
+	}
+	b.ReportMetric(float64(admitted), "admitted")
+}
+
 // BenchmarkScenarioBursty10k exercises the engine on the flash-crowd
 // scenario at 10k-VM scale: one proportional-deflation point at 50%
 // overcommitment, trace generated fresh each iteration from a fixed

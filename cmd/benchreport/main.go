@@ -7,12 +7,21 @@
 //
 //	benchreport            # everything (a few minutes)
 //	benchreport -quick     # smaller traces / shorter runs
+//	benchreport -scale 50000                 # cloud-scale single-run smoke
+//	benchreport -scale 50000 -scaleout BENCH_scale.json
+//
+// The -scale mode runs one deflation-mode simulation at the given VM
+// count through the capacity-indexed manager and writes a small JSON
+// report (wall time, events/s, admission counts) for CI to archive, so
+// the perf trajectory is tracked PR-over-PR.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"os/exec"
 	"strconv"
 	"time"
@@ -21,13 +30,82 @@ import (
 	"vmdeflate/internal/trace"
 )
 
+// scaleReport is the BENCH_scale.json schema.
+type scaleReport struct {
+	VMs          int     `json:"vms"`
+	Scenario     string  `json:"scenario"`
+	Servers      int     `json:"servers"`
+	Overcommit   float64 `json:"overcommit"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	TraceSeconds float64 `json:"trace_gen_seconds"`
+	Admitted     int     `json:"admitted"`
+	Rejected     int     `json:"rejected"`
+	ArrivalsPerS float64 `json:"arrivals_per_second"`
+}
+
+// runScale executes the cloud-scale single-run smoke: one heavy-tail
+// trace of n VMs, cluster sized by the cheap peak-demand bound, one
+// indexed deflation run, report written as JSON.
+func runScale(n int, seed int64, outPath string) {
+	fmt.Printf("== scale smoke: %d-VM single deflation run\n", n)
+	t0 := time.Now()
+	tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+		Kind: trace.ScenarioHeavyTail, NumVMs: n, Duration: 3 * 86400, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	genDur := time.Since(t0)
+	base, err := clustersim.PeakServerLowerBound(tr, clustersim.DefaultServerCapacity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := time.Now()
+	res, err := clustersim.Run(clustersim.Config{
+		Trace: tr, Overcommit: 0.5, BaselineServers: base,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(t1)
+	rep := scaleReport{
+		VMs:          n,
+		Scenario:     "heavytail",
+		Servers:      res.Servers,
+		Overcommit:   0.5,
+		WallSeconds:  wall.Seconds(),
+		TraceSeconds: genDur.Seconds(),
+		Admitted:     res.Admitted,
+		Rejected:     res.Rejected,
+		ArrivalsPerS: float64(res.Arrivals) / wall.Seconds(),
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s", out)
+	fmt.Printf("scale smoke: %d VMs on %d servers in %s (report: %s)\n",
+		n, res.Servers, wall.Round(time.Millisecond), outPath)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchreport: ")
 
 	quick := flag.Bool("quick", false, "smaller traces and shorter runs")
 	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Int("scale", 0, "run only the cloud-scale single-run smoke at this VM count")
+	scaleOut := flag.String("scaleout", "BENCH_scale.json", "where -scale writes its JSON report")
 	flag.Parse()
+
+	if *scale > 0 {
+		runScale(*scale, *seed, *scaleOut)
+		return
+	}
 
 	nVMs := 5000
 	if *quick {

@@ -12,6 +12,7 @@
 //	deflationsim -scenario bursty -replicates 5        # mean over 5 seeded traces
 //	deflationsim -workers 1                            # force sequential
 //	deflationsim -azure azure.csv
+//	deflationsim -vms 100000 -cpuprofile cpu.pprof     # diagnose scale regressions
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,7 +43,34 @@ func main() {
 	ocList := flag.String("oc", "0,10,20,30,40,50,60,70", "overcommitment percentages")
 	strategies := flag.String("strategies", strings.Join(clustersim.Strategies, ","),
 		"comma-separated strategies")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	strats := splitStrategies(*strategies)
 	ocs := parseFloats(*ocList)

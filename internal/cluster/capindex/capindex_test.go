@@ -1,0 +1,157 @@
+package capindex
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refEntry mirrors one index entry in the flat reference model.
+type refEntry struct {
+	name string
+	key  float64
+}
+
+// refModel is the brute-force oracle: a map kept in sync with the same
+// upserts/deletes, queried by sorting.
+type refModel map[string]float64
+
+func (m refModel) sorted() []refEntry {
+	out := make([]refEntry, 0, len(m))
+	for n, k := range m {
+		out = append(out, refEntry{n, k})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return less(out[i].key, out[i].name, out[j].key, out[j].name)
+	})
+	return out
+}
+
+func collectFrom(ix *Index, lower float64) []refEntry {
+	var out []refEntry
+	ix.AscendFrom(lower, func(name string, key float64) bool {
+		out = append(out, refEntry{name, key})
+		return true
+	})
+	return out
+}
+
+func TestIndexBasics(t *testing.T) {
+	ix := New()
+	if ix.Len() != 0 {
+		t.Fatalf("empty Len = %d", ix.Len())
+	}
+	if _, _, ok := ix.Min(); ok {
+		t.Fatal("Min on empty index")
+	}
+	ix.Upsert("b", 0.5)
+	ix.Upsert("a", 0.5)
+	ix.Upsert("c", 0.2)
+	if n, k, ok := ix.Min(); !ok || n != "c" || k != 0.2 {
+		t.Fatalf("Min = %q %v %v", n, k, ok)
+	}
+	// Equal keys order by name.
+	got := collectFrom(ix, 0)
+	want := []refEntry{{"c", 0.2}, {"a", 0.5}, {"b", 0.5}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ascend = %v, want %v", got, want)
+	}
+	// Upsert moves a key; Delete removes.
+	ix.Upsert("c", 0.9)
+	if k, ok := ix.Key("c"); !ok || k != 0.9 {
+		t.Fatalf("Key(c) = %v %v", k, ok)
+	}
+	ix.Delete("a")
+	ix.Delete("ghost") // no-op
+	got = collectFrom(ix, 0)
+	want = []refEntry{{"b", 0.5}, {"c", 0.9}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after move/delete = %v, want %v", got, want)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestAscendFromLowerBound(t *testing.T) {
+	ix := New()
+	for i := 0; i < 100; i++ {
+		ix.Upsert(fmt.Sprintf("s%03d", i), float64(i)/100)
+	}
+	got := collectFrom(ix, 0.95)
+	if len(got) != 5 {
+		t.Fatalf("entries >= 0.95: %d, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.name != fmt.Sprintf("s%03d", 95+i) {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+	// Early stop.
+	var visited int
+	ix.AscendFrom(0.5, func(string, float64) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited = %d, want 3", visited)
+	}
+}
+
+// TestIndexMatchesReferenceModel drives the treap with a seeded random
+// op sequence and checks every query against the flat sorted oracle —
+// the determinism contract the cluster differential suite builds on.
+func TestIndexMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ix := New()
+	ref := refModel{}
+	for op := 0; op < 5000; op++ {
+		name := fmt.Sprintf("node-%03d", rng.Intn(200))
+		switch rng.Intn(10) {
+		case 0: // delete
+			ix.Delete(name)
+			delete(ref, name)
+		default: // upsert, with deliberate key collisions
+			key := float64(rng.Intn(50)) / 50
+			ix.Upsert(name, key)
+			ref[name] = key
+		}
+		if ix.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, ref %d", op, ix.Len(), len(ref))
+		}
+		if op%50 != 0 {
+			continue
+		}
+		lower := rng.Float64()
+		got := collectFrom(ix, lower)
+		var want []refEntry
+		for _, e := range ref.sorted() {
+			if e.key >= lower {
+				want = append(want, e)
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("op %d bound %v:\n got %v\nwant %v", op, lower, got, want)
+		}
+	}
+}
+
+func TestDirtySet(t *testing.T) {
+	s := NewDirtySet()
+	if got := s.Drain(); got != nil {
+		t.Fatalf("drain of empty set = %v", got)
+	}
+	s.Mark("b")
+	s.Mark("a")
+	s.Mark("b") // dedup
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Drain(); fmt.Sprint(got) != "[a b]" {
+		t.Fatalf("drain = %v, want sorted [a b]", got)
+	}
+	if s.Len() != 0 {
+		t.Fatal("drain should empty the set")
+	}
+}

@@ -4,6 +4,19 @@
 // placement protocol (choose best server → compute required deflation →
 // deflate and launch), reinflation on VM departure, and admission
 // control when even maximal deflation cannot make room.
+//
+// # Placement at scale
+//
+// The manager keeps an incremental capacity index (capindex) per
+// priority partition: an ordered index of servers keyed by dominant free
+// share, plus a cached availability vector per server. Hypervisor
+// aggregate-change callbacks mark servers dirty; each query first
+// refreshes only the dirty servers, so the surplus-first pass is
+// O(log servers) and the under-pressure fitness ranking never re-walks a
+// clean server's domains. Config.ReferencePlacement retains the
+// brute-force linear-scan path, which implements the identical selection
+// rule — the differential test suite asserts both paths place bit-for-bit
+// identically.
 package cluster
 
 import (
@@ -12,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"vmdeflate/internal/cluster/capindex"
 	"vmdeflate/internal/hypervisor"
 	"vmdeflate/internal/mechanism"
 	"vmdeflate/internal/notify"
@@ -70,6 +84,12 @@ type Config struct {
 	// (Figure 1's notification to the application manager / load
 	// balancer).
 	Notify *notify.Bus
+	// ReferencePlacement selects the retained brute-force placement path
+	// — linear scans over every server — instead of the capacity index.
+	// Both paths implement the identical selection rule and produce
+	// bit-for-bit identical placements; the flag exists for differential
+	// testing and for measuring what the index buys.
+	ReferencePlacement bool
 }
 
 func (c *Config) applyDefaults() {
@@ -97,6 +117,15 @@ type Server struct {
 	// Partition is the server's priority pool (0-based); -1 when
 	// partitioning is disabled.
 	Partition int
+
+	// Cached placement state, refreshed by the owning Manager's dirty
+	// sync (syncDirtyLocked) and read only under the Manager's lock.
+	// Servers constructed standalone (e.g. the per-node daemon wrapping
+	// one Server for PlaceOn/Reinflate) never populate these.
+	agg       hypervisor.Aggregates // aggregates at last sync, for delta totals
+	free      resources.Vector      // capacity - allocated
+	freeShare float64               // free.DominantShare(capacity): the index key
+	avail     resources.Vector      // the Section 5.2 availability vector
 }
 
 // Manager is the centralized cluster manager. All methods are safe for
@@ -106,7 +135,24 @@ type Manager struct {
 	mu         sync.Mutex
 	cfg        Config
 	servers    []*Server
+	byName     map[string]*Server
 	placements map[string]*Server
+
+	// Incremental capacity index: one ordered index per partition keyed
+	// by dominant free share, a per-partition component-wise max capacity
+	// (the safe lower bound for index scans), and the dirty set fed by
+	// the hosts' aggregate-change callbacks.
+	indexes    map[int]*capindex.Index
+	partMaxCap map[int]resources.Vector
+	dirty      *capindex.DirtySet
+
+	// Cluster-wide totals for O(1) Stats: capacity is exact (updated on
+	// AddServer); committed and allocated are delta-maintained from the
+	// per-server aggregate refreshes, applied in the dirty set's sorted
+	// drain order so they stay deterministic.
+	totCapacity  resources.Vector
+	totCommitted resources.Vector
+	totAllocated resources.Vector
 
 	// deflationEvents counts how many times an existing VM's allocation
 	// was reduced to admit another VM; rejections counts
@@ -135,7 +181,14 @@ func (m *Manager) Rejections() int {
 // NewManager creates a manager with the given configuration.
 func NewManager(cfg Config) *Manager {
 	cfg.applyDefaults()
-	return &Manager{cfg: cfg, placements: make(map[string]*Server)}
+	return &Manager{
+		cfg:        cfg,
+		byName:     make(map[string]*Server),
+		placements: make(map[string]*Server),
+		indexes:    make(map[int]*capindex.Index),
+		partMaxCap: make(map[int]resources.Vector),
+		dirty:      capindex.NewDirtySet(),
+	}
 }
 
 // Config returns the manager's configuration.
@@ -160,7 +213,39 @@ func (m *Manager) AddServer(name string, capacity resources.Vector, partition in
 	}
 	s := &Server{Host: h, Partition: partition}
 	m.servers = append(m.servers, s)
+	m.byName[name] = s
+	if m.indexes[partition] == nil {
+		m.indexes[partition] = capindex.New()
+	}
+	m.partMaxCap[partition] = m.partMaxCap[partition].Max(capacity)
+	m.totCapacity = m.totCapacity.Add(capacity)
+	// The callback only records dirtiness; the next query refreshes the
+	// server's index key, cached availability and the cluster totals.
+	h.OnAggregateChange(func() { m.dirty.Mark(name) })
+	m.dirty.Mark(name)
 	return s, nil
+}
+
+// syncDirtyLocked refreshes cached placement state for every server the
+// hosts marked dirty since the last query, in sorted name order. Called
+// with m.mu held at the top of every query; between bursts of churn it
+// is a no-op.
+func (m *Manager) syncDirtyLocked() {
+	for _, name := range m.dirty.Drain() {
+		s := m.byName[name]
+		if s == nil {
+			continue
+		}
+		agg := s.Host.Aggregates()
+		m.totCommitted = m.totCommitted.Add(agg.Committed.Sub(s.agg.Committed))
+		m.totAllocated = m.totAllocated.Add(agg.Allocated.Sub(s.agg.Allocated))
+		s.agg = agg
+		total := s.Host.Capacity()
+		s.free = total.Sub(agg.Allocated)
+		s.freeShare = s.free.DominantShare(total)
+		s.avail = availabilityFrom(total, agg)
+		m.indexes[s.Partition].Upsert(name, s.freeShare)
+	}
 }
 
 // Servers returns the managed servers.
@@ -210,31 +295,29 @@ func Fitness(demand, avail resources.Vector) float64 {
 // Availability computes the paper's placement availability vector:
 // A_j = Total_j - Used_j + deflatable_j/(1 + overcommit_j), where
 // deflatable_j is the total resource reclaimable from deflatable VMs and
-// overcommit_j discounts servers that are already squeezed.
+// overcommit_j discounts servers that are already squeezed. It reads the
+// host's cached aggregates, so between allocation changes it is O(1).
 func Availability(s *Server) resources.Vector {
-	total := s.Host.Capacity()
-	used := s.Host.Allocated()
-	var deflatable resources.Vector
-	for _, d := range s.Host.Domains() {
-		if d.State() != hypervisor.Running || !d.Deflatable() {
-			continue
-		}
-		deflatable = deflatable.Add(d.Allocation().Sub(floorOf(d)).ClampNonNegative())
+	return availabilityFrom(s.Host.Capacity(), s.Host.Aggregates())
+}
+
+// availabilityFrom is the availability formula over an aggregate
+// snapshot — the one definition shared by the cached per-server vector
+// and the fresh reads of the reference path, so the two are bit-equal.
+func availabilityFrom(total resources.Vector, agg hypervisor.Aggregates) resources.Vector {
+	oc := 0.0
+	if c := agg.Committed.DominantShare(total); c > 1 {
+		oc = c - 1
 	}
-	oc := s.Host.Overcommit()
-	avail := total.Sub(used).Add(deflatable.Scale(1 / (1 + oc)))
+	avail := total.Sub(agg.Allocated).Add(agg.DeflatableReserve.Scale(1 / (1 + oc)))
 	return avail.ClampNonNegative()
 }
 
-// floorOf returns a domain's deflation floor: its configured minimum
-// allocation, or the mechanism floor when none is set.
-func floorOf(d *hypervisor.Domain) resources.Vector {
-	min := d.MinAllocation()
-	if min.IsZero() {
-		min = resources.New(0.05, 64, 0, 0).Min(d.MaxSize())
-	}
-	return min
-}
+// fitMargin pads index lower-bound scans so a server that fits only
+// thanks to resources.Vector's FitsIn epsilon is never pruned: any such
+// server's free share is below the exact demand share by at most
+// eps/capacity, far less than this margin.
+const fitMargin = 1e-7
 
 // PlaceVM runs the three-step placement of Section 6: pick the fittest
 // server, have it compute the deflation required to make room (possibly
@@ -246,34 +329,18 @@ func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Serv
 	if _, ok := m.placements[dc.Name]; ok {
 		return nil, nil, fmt.Errorf("%w: VM %s", ErrExists, dc.Name)
 	}
-
+	m.syncDirtyLocked()
 	part := m.PartitionOf(dc)
-	var pool []*Server
-	for _, s := range m.servers {
-		if part >= 0 && s.Partition != part {
-			continue
-		}
-		pool = append(pool, s)
-	}
 
 	// Surplus-first: "when there is surplus capacity in the cluster, the
 	// cloud manager allocates these resources ... without deflating"
 	// (Section 5). Among servers that can host the VM with no deflation,
-	// tightest fit preserves large contiguous capacity for future big
-	// VMs; spreading every VM across all servers would leave a little
-	// unreclaimable (non-deflatable) allocation everywhere and strand
-	// large on-demand arrivals.
-	best, bestLeft := (*Server)(nil), 0.0
-	for _, s := range pool {
-		freeCap := s.Host.Capacity().Sub(s.Host.Allocated())
-		if !dc.Size.FitsIn(freeCap) {
-			continue
-		}
-		left := freeCap.Sub(dc.Size).DominantShare(s.Host.Capacity())
-		if best == nil || left < bestLeft {
-			best, bestLeft = s, left
-		}
-	}
+	// tightest fit (smallest dominant free share, name-tiebroken)
+	// preserves large contiguous capacity for future big VMs; spreading
+	// every VM across all servers would leave a little unreclaimable
+	// (non-deflatable) allocation everywhere and strand large on-demand
+	// arrivals.
+	best := m.surplusCandidateLocked(part, dc.Size)
 	if best != nil {
 		d, deflations, err := PlaceOn(best, m.cfg, dc)
 		if err == nil {
@@ -285,16 +352,22 @@ func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Serv
 
 	// Under pressure: rank by the deflation-aware availability fitness
 	// of Section 5.2 and deflate residents on the best server that can
-	// absorb the newcomer.
-	type cand struct {
-		s       *Server
-		fitness float64
+	// absorb the newcomer. The fitness inputs are the cached
+	// availability vectors (refreshed above for dirty servers only); the
+	// reference path recomputes them from the host aggregates, which is
+	// bit-equal.
+	var cands candList
+	for _, s := range m.servers {
+		if part >= 0 && s.Partition != part {
+			continue
+		}
+		avail := s.avail
+		if m.cfg.ReferencePlacement {
+			avail = Availability(s)
+		}
+		cands = append(cands, cand{s, Fitness(dc.Size, avail), len(cands)})
 	}
-	var cands []cand
-	for _, s := range pool {
-		cands = append(cands, cand{s, Fitness(dc.Size, Availability(s))})
-	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].fitness > cands[j].fitness })
+	sort.Sort(cands)
 
 	for _, c := range cands {
 		if c.s == best {
@@ -309,6 +382,101 @@ func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Serv
 	}
 	m.rejections++
 	return nil, nil, fmt.Errorf("%w: %s (size %v)", ErrNoCapacity, dc.Name, dc.Size)
+}
+
+// cand is one under-pressure placement candidate. idx is the pool
+// position, which makes the (fitness desc, idx asc) order a strict
+// total order: sorting with any algorithm yields the stable-descending
+// ranking, without the reflection-based swapper sort.SliceStable costs
+// on a struct slice (it showed up at ~20% of a 100k-VM run's profile).
+type cand struct {
+	s       *Server
+	fitness float64
+	idx     int
+}
+
+type candList []cand
+
+func (c candList) Len() int      { return len(c) }
+func (c candList) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c candList) Less(i, j int) bool {
+	if c[i].fitness != c[j].fitness {
+		return c[i].fitness > c[j].fitness
+	}
+	return c[i].idx < c[j].idx
+}
+
+// surplusCandidateLocked returns the tightest-fit server that can host
+// size without any deflation — the server with the smallest (dominant
+// free share, name) among those whose free vector fits size — or nil.
+// The indexed path scans the partition's ordered index ascending from a
+// demand-share lower bound, so it inspects O(log S) plus however many
+// near-full servers fit on the dominant dimension but not the others;
+// the reference path scans every server and applies the identical
+// minimisation.
+func (m *Manager) surplusCandidateLocked(part int, size resources.Vector) *Server {
+	if m.cfg.ReferencePlacement {
+		var best *Server
+		bestKey := 0.0
+		for _, s := range m.servers {
+			if part >= 0 && s.Partition != part {
+				continue
+			}
+			total := s.Host.Capacity()
+			free := total.Sub(s.Host.Aggregates().Allocated)
+			if !size.FitsIn(free) {
+				continue
+			}
+			key := free.DominantShare(total)
+			if best == nil || key < bestKey || (key == bestKey && s.Host.Name() < best.Host.Name()) {
+				best, bestKey = s, key
+			}
+		}
+		return best
+	}
+	ix := m.indexes[part]
+	if ix == nil {
+		return nil
+	}
+	// Any fitting server's free share is at least the demand's dominant
+	// share of the partition's largest capacity (minus float fuzz), so
+	// everything below that bound can be pruned.
+	lower := size.DominantShare(m.partMaxCap[part]) - fitMargin
+	var found *Server
+	ix.AscendFrom(lower, func(name string, _ float64) bool {
+		s := m.byName[name]
+		if size.FitsIn(s.free) {
+			found = s
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FitsWithoutDeflation reports whether any server in the cluster
+// (regardless of partition) can host size with no deflation. The
+// simulation engine uses it to count reclamation attempts; with the
+// capacity index the check is O(partitions × log S) instead of a full
+// scan.
+func (m *Manager) FitsWithoutDeflation(size resources.Vector) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncDirtyLocked()
+	if m.cfg.ReferencePlacement {
+		for _, s := range m.servers {
+			if size.FitsIn(s.Host.Capacity().Sub(s.Host.Aggregates().Allocated)) {
+				return true
+			}
+		}
+		return false
+	}
+	for part := range m.indexes {
+		if m.surplusCandidateLocked(part, size) != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // PlaceOn attempts placement on one server, implementing steps 2 and 3
@@ -340,7 +508,7 @@ func PlaceOn(s *Server, cfg Config, dc hypervisor.DomainConfig) (*hypervisor.Dom
 		vms = append(vms, policy.VMState{
 			Name:     d.Name(),
 			Max:      d.MaxSize(),
-			Min:      floorOf(d),
+			Min:      d.Floor(),
 			Priority: d.Priority(),
 			Current:  d.Allocation(),
 		})
@@ -348,14 +516,10 @@ func PlaceOn(s *Server, cfg Config, dc hypervisor.DomainConfig) (*hypervisor.Dom
 	}
 	const newcomer = "\x00newcomer"
 	if dc.Deflatable {
-		min := dc.MinAllocation
-		if min.IsZero() {
-			min = resources.New(0.05, 64, 0, 0).Min(dc.Size)
-		}
 		vms = append(vms, policy.VMState{
 			Name:     newcomer,
 			Max:      dc.Size,
-			Min:      min,
+			Min:      dc.Floor(),
 			Priority: dc.Priority,
 			Current:  dc.Size, // joins at full size; policy shrinks it
 		})
@@ -426,58 +590,93 @@ func (m *Manager) LookupVM(name string) (*hypervisor.Domain, *Server, error) {
 // RemoveVM stops and removes a VM, then reinflates the survivors on its
 // server with the freed resources (R = -R_free, Section 5.1.3).
 func (m *Manager) RemoveVM(name string) error {
+	return m.RemoveVMs(name)
+}
+
+// RemoveVMs removes a batch of VMs and then reinflates each affected
+// server exactly once — the batched form the simulation engine uses to
+// coalesce simultaneous departures, which turns k same-instant
+// departures from one server into one policy pass instead of k. Servers
+// reinflate in the order they are first touched by names, so the result
+// is deterministic for a deterministic name order.
+func (m *Manager) RemoveVMs(names ...string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s, ok := m.placements[name]
-	if !ok {
-		return fmt.Errorf("%w: VM %s", ErrNotFound, name)
-	}
-	d, err := s.Host.Lookup(name)
-	if err != nil {
-		return err
-	}
-	if d.State() == hypervisor.Running {
-		if err := d.Shutdown(); err != nil {
+	var affected []*Server
+	seen := map[*Server]bool{}
+	remove := func(name string) error {
+		s, ok := m.placements[name]
+		if !ok {
+			return fmt.Errorf("%w: VM %s", ErrNotFound, name)
+		}
+		d, err := s.Host.Lookup(name)
+		if err != nil {
 			return err
 		}
+		if d.State() == hypervisor.Running {
+			if err := d.Shutdown(); err != nil {
+				return err
+			}
+		}
+		if err := s.Host.Undefine(name); err != nil {
+			return err
+		}
+		delete(m.placements, name)
+		if !seen[s] {
+			seen[s] = true
+			affected = append(affected, s)
+		}
+		return nil
 	}
-	if err := s.Host.Undefine(name); err != nil {
-		return err
+	var firstErr error
+	for _, name := range names {
+		if err := remove(name); err != nil {
+			// Stop removing, but fall through to reinflation: servers
+			// whose VMs already left must not keep their survivors
+			// deflated just because a later name in the batch was bad.
+			firstErr = err
+			break
+		}
 	}
-	delete(m.placements, name)
-	return Reinflate(s, m.cfg)
+	for _, s := range affected {
+		if err := Reinflate(s, m.cfg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Reinflate redistributes free capacity to deflated VMs on s ("run the
 // proportional deflation backwards", Section 5.1.3). Like PlaceOn it is
 // shared between the in-process Manager and the local controller daemon.
+// The host's cached Deflated count short-circuits the common case where
+// nothing on the server is deflated, without walking its domains.
 func Reinflate(s *Server, cfg Config) error {
 	cfg.applyDefaults()
-	free := s.Host.Capacity().Sub(s.Host.Allocated()).ClampNonNegative()
+	agg := s.Host.Aggregates()
+	if agg.Deflated == 0 {
+		return nil
+	}
+	free := s.Host.Capacity().Sub(agg.Allocated).ClampNonNegative()
 	if free.IsZero() {
 		return nil
 	}
 	var vms []policy.VMState
 	domains := map[string]*hypervisor.Domain{}
-	anyDeflated := false
 	for _, d := range s.Host.Domains() {
 		if d.State() != hypervisor.Running || !d.Deflatable() {
 			continue
 		}
-		cur := d.Allocation()
-		if cur.Sub(d.MaxSize()).ClampNonNegative().IsZero() && cur != d.MaxSize() {
-			anyDeflated = true
-		}
 		vms = append(vms, policy.VMState{
 			Name:     d.Name(),
 			Max:      d.MaxSize(),
-			Min:      floorOf(d),
+			Min:      d.Floor(),
 			Priority: d.Priority(),
-			Current:  cur,
+			Current:  d.Allocation(),
 		})
 		domains[d.Name()] = d
 	}
-	if len(vms) == 0 || !anyDeflated {
+	if len(vms) == 0 {
 		return nil
 	}
 	res, err := cfg.Policy.Targets(vms, free.Scale(-1))
@@ -504,17 +703,22 @@ type Stats struct {
 	Overcommit float64
 }
 
-// Stats returns the current cluster-wide statistics.
+// Stats returns the current cluster-wide statistics. The vectors come
+// from the delta-maintained totals, so the call is O(dirty servers)
+// amortised — effectively O(1) between churn — instead of a walk over
+// every domain in the cluster. Committed/Allocated can differ from a
+// from-scratch summation by accumulated float round-off on the order of
+// 1e-12 relative; the per-server aggregates themselves are always exact.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var st Stats
-	st.Servers = len(m.servers)
-	st.VMs = len(m.placements)
-	for _, s := range m.servers {
-		st.Capacity = st.Capacity.Add(s.Host.Capacity())
-		st.Committed = st.Committed.Add(s.Host.Committed())
-		st.Allocated = st.Allocated.Add(s.Host.Allocated())
+	m.syncDirtyLocked()
+	st := Stats{
+		Servers:   len(m.servers),
+		VMs:       len(m.placements),
+		Capacity:  m.totCapacity,
+		Committed: m.totCommitted,
+		Allocated: m.totAllocated,
 	}
 	oc := st.Committed.DominantShare(st.Capacity)
 	if oc > 1 {

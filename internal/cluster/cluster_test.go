@@ -217,6 +217,32 @@ func TestRemoveVMReinflates(t *testing.T) {
 	}
 }
 
+// A bad name mid-batch must not leave earlier removals' servers with
+// their survivors stuck deflated: reinflation runs for every server
+// already touched before the error is reported.
+func TestRemoveVMsPartialBatchStillReinflates(t *testing.T) {
+	m := newTestManager(t, 1, Config{})
+	if _, _, err := m.PlaceVM(deflatableVM("low", 40, 65536, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.PlaceVM(onDemandVM("od", 16, 32768)); err != nil {
+		t.Fatal(err)
+	}
+	low, _, _ := m.LookupVM("low")
+	if got := low.Allocation().Get(resources.CPU); got > 32.001 {
+		t.Fatalf("setup: low = %v", got)
+	}
+	if err := m.RemoveVMs("od", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if got := low.Allocation().Get(resources.CPU); got < 39.999 {
+		t.Errorf("low = %v cores after partial batch, want reinflated to 40", got)
+	}
+	if _, _, err := m.LookupVM("od"); !errors.Is(err, ErrNotFound) {
+		t.Error("od should have been removed despite the batch error")
+	}
+}
+
 func TestRemoveVMErrors(t *testing.T) {
 	m := newTestManager(t, 1, Config{})
 	if err := m.RemoveVM("ghost"); !errors.Is(err, ErrNotFound) {

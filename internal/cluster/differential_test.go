@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/resources"
+)
+
+// churnStep drives both managers with one identical operation and
+// returns a comparable description of what happened.
+type churnStep func(m *Manager) string
+
+// runDifferentialChurn feeds the same randomized place/remove/query
+// sequence to an indexed and a reference manager and fails on the first
+// divergence: server choice, error class, counters or stats. This is
+// the bit-for-bit placement-identity guarantee of the capacity index.
+func runDifferentialChurn(t *testing.T, seed int64, cfg Config, nServers, nOps int) {
+	t.Helper()
+	refCfg := cfg
+	refCfg.ReferencePlacement = true
+	idxCfg := cfg
+	idxCfg.ReferencePlacement = false
+
+	managers := []*Manager{NewManager(idxCfg), NewManager(refCfg)}
+	for i := 0; i < nServers; i++ {
+		for _, m := range managers {
+			part := i % max(1, m.Config().PriorityLevels)
+			if _, err := m.AddServer(fmt.Sprintf("node-%03d", i), serverCap(), part); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var placed []string
+	next := 0
+	for op := 0; op < nOps; op++ {
+		var step churnStep
+		switch {
+		case len(placed) > 0 && rng.Intn(10) < 3: // removal (sometimes batched)
+			k := 1 + rng.Intn(min(3, len(placed)))
+			names := make([]string, 0, k)
+			for j := 0; j < k; j++ {
+				i := rng.Intn(len(placed))
+				names = append(names, placed[i])
+				placed = append(placed[:i], placed[i+1:]...)
+			}
+			step = func(m *Manager) string {
+				if err := m.RemoveVMs(names...); err != nil {
+					return fmt.Sprintf("remove err %v", err)
+				}
+				return fmt.Sprintf("removed %v", names)
+			}
+		case rng.Intn(10) == 0: // reclaim probe
+			size := resources.CPUMem(float64(1+rng.Intn(48)), float64(1024*(1+rng.Intn(96))))
+			step = func(m *Manager) string {
+				return fmt.Sprintf("fits=%v", m.FitsWithoutDeflation(size))
+			}
+		default: // placement
+			name := fmt.Sprintf("vm-%05d", next)
+			next++
+			dc := hypervisor.DomainConfig{
+				Name:       name,
+				Size:       resources.CPUMem(float64(1+rng.Intn(24)), float64(2048*(1+rng.Intn(24)))),
+				Deflatable: rng.Intn(3) != 0,
+				Priority:   0.25 * float64(1+rng.Intn(4)),
+			}
+			if !dc.Deflatable {
+				dc.Priority = 0
+			}
+			admitted := false
+			step = func(m *Manager) string {
+				_, s, err := m.PlaceVM(dc)
+				if err != nil {
+					if !errors.Is(err, ErrNoCapacity) {
+						t.Fatalf("op %d: unexpected error %v", op, err)
+					}
+					return "rejected"
+				}
+				admitted = true
+				return "on " + s.Host.Name()
+			}
+			got := []string{step(managers[0]), step(managers[1])}
+			if got[0] != got[1] {
+				t.Fatalf("op %d (place %s): indexed %q != reference %q", op, name, got[0], got[1])
+			}
+			if admitted {
+				placed = append(placed, name)
+			}
+			compareManagers(t, op, managers[0], managers[1])
+			continue
+		}
+		got := []string{step(managers[0]), step(managers[1])}
+		if got[0] != got[1] {
+			t.Fatalf("op %d: indexed %q != reference %q", op, got[0], got[1])
+		}
+		compareManagers(t, op, managers[0], managers[1])
+	}
+
+	// The cached per-server aggregates must equal a fresh name-order
+	// recompute at the end of the churn (the Manager relies on the
+	// hypervisor cache-coherence property; spot-check it end to end).
+	for _, m := range managers {
+		for _, s := range m.Servers() {
+			agg := s.Host.Aggregates()
+			var alloc resources.Vector
+			for _, d := range s.Host.Domains() {
+				if d.State() == hypervisor.Running {
+					alloc = alloc.Add(d.Allocation())
+				}
+			}
+			if agg.Allocated != alloc {
+				t.Fatalf("server %s: cached allocated %v != fresh %v", s.Host.Name(), agg.Allocated, alloc)
+			}
+		}
+	}
+}
+
+// compareManagers asserts the externally observable state of the two
+// managers is identical.
+func compareManagers(t *testing.T, op int, a, b *Manager) {
+	t.Helper()
+	if a.DeflationEvents() != b.DeflationEvents() || a.Rejections() != b.Rejections() {
+		t.Fatalf("op %d: counters diverged: indexed (%d defl, %d rej) vs reference (%d defl, %d rej)",
+			op, a.DeflationEvents(), a.Rejections(), b.DeflationEvents(), b.Rejections())
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("op %d: stats diverged:\nindexed   %+v\nreference %+v", op, sa, sb)
+	}
+}
+
+func TestIndexedPlacementMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDifferentialChurn(t, seed, Config{Policy: policy.Proportional{}}, 12, 400)
+		})
+	}
+}
+
+func TestIndexedPlacementMatchesReferencePriorityPolicy(t *testing.T) {
+	runDifferentialChurn(t, 11, Config{Policy: policy.Priority{}}, 8, 300)
+}
+
+func TestIndexedPlacementMatchesReferencePartitioned(t *testing.T) {
+	runDifferentialChurn(t, 21, Config{
+		Policy:              policy.Priority{},
+		PartitionByPriority: true,
+		PriorityLevels:      4,
+	}, 12, 400)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -16,7 +16,12 @@
 //   - engine.go — the Engine: one self-contained run. It owns every
 //     piece of mutable state (cluster manager, running set, queue,
 //     metric accumulators), which makes independent runs share-nothing
-//     and therefore safe to execute concurrently.
+//     and therefore safe to execute concurrently. Placements flow
+//     through the manager's incremental capacity index
+//     (internal/cluster/capindex), and runs of same-timestamp
+//     departures are coalesced into one batched removal so each
+//     affected server reinflates once per instant instead of once per
+//     departing VM.
 //   - sweep.go — the sweep layer: a worker pool that fans strategy ×
 //     overcommitment grid points (and independently seeded scenario
 //     replicates) out across GOMAXPROCS cores, producing bit-for-bit
@@ -98,6 +103,11 @@ type Config struct {
 	// the cluster manager makes during the run. The bus is safe to
 	// share between concurrently running engines.
 	Notify *notify.Bus
+	// ReferencePlacement runs the cluster manager's retained brute-force
+	// placement path instead of its capacity index. Results are
+	// bit-for-bit identical (guarded by the differential test suite);
+	// the flag exists for that comparison and for benchmarks.
+	ReferencePlacement bool
 }
 
 // DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB RAM.
@@ -172,6 +182,35 @@ type Result struct {
 // aggregate bound). It fails if any single VM exceeds a server.
 func BaselineServerCount(tr *trace.AzureTrace, serverCap resources.Vector) (int, error) {
 	evs := buildEvents(tr)
+	lb, err := peakLowerBound(evs, serverCap)
+	if err != nil {
+		return 0, err
+	}
+	// Fragmentation can exceed the aggregate bound, but not without
+	// limit; 4x is a generous safety margin that turns a logic error
+	// into a diagnosable failure instead of an unbounded search.
+	for n := lb; n <= 4*lb+4; n++ {
+		if fullAllocationFeasible(evs, n, serverCap) {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("clustersim: no feasible packing within %d servers", 4*lb+4)
+}
+
+// PeakServerLowerBound returns the aggregate-demand lower bound on the
+// cluster size: the peak concurrent committed demand divided by the
+// server capacity, per dimension. It is the cheap O(N log N) part of
+// BaselineServerCount — without the bin-packing feasibility replay that
+// the full bound runs — and is the right cluster-sizing knob for
+// 100k-VM-scale benchmarks, where the packing replay would dwarf the
+// simulation being measured.
+func PeakServerLowerBound(tr *trace.AzureTrace, serverCap resources.Vector) (int, error) {
+	return peakLowerBound(buildEvents(tr), serverCap)
+}
+
+// peakLowerBound is the shared core of the two bounds above, taking a
+// prebuilt event list so BaselineServerCount sorts the trace only once.
+func peakLowerBound(evs []event, serverCap resources.Vector) (int, error) {
 	var cur, peak resources.Vector
 	for _, e := range evs {
 		size := vmSize(e.vm)
@@ -196,15 +235,7 @@ func BaselineServerCount(tr *trace.AzureTrace, serverCap resources.Vector) (int,
 			lb = need
 		}
 	}
-	// Fragmentation can exceed the aggregate bound, but not without
-	// limit; 4x is a generous safety margin that turns a logic error
-	// into a diagnosable failure instead of an unbounded search.
-	for n := lb; n <= 4*lb+4; n++ {
-		if fullAllocationFeasible(evs, n, serverCap) {
-			return n, nil
-		}
-	}
-	return 0, fmt.Errorf("clustersim: no feasible packing within %d servers", 4*lb+4)
+	return lb, nil
 }
 
 // fullAllocationFeasible replays the trace at full allocations on n

@@ -1,0 +1,122 @@
+package clustersim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/trace"
+)
+
+// TestIndexedEngineMatchesReference is the end-to-end differential
+// guarantee of the capacity-index refactor: full simulation runs through
+// the indexed manager must produce Results — every admission count,
+// failure probability, throughput-loss integral and revenue float — that
+// are bit-for-bit identical to the retained brute-force reference path,
+// across all synthetic scenarios, multiple seeds and overcommitment
+// levels.
+func TestIndexedEngineMatchesReference(t *testing.T) {
+	scenarios := []trace.Scenario{
+		trace.ScenarioDiurnal, trace.ScenarioBursty, trace.ScenarioHeavyTail,
+	}
+	for _, kind := range scenarios {
+		for _, seed := range []int64{1, 2} {
+			for _, oc := range []float64{0.3, 0.6} {
+				name := fmt.Sprintf("%v/seed=%d/oc=%v", kind, seed, oc)
+				t.Run(name, func(t *testing.T) {
+					tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+						Kind: kind, NumVMs: 400, Duration: 86400, Seed: seed,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := Config{Trace: tr, Policy: policy.Proportional{}, Overcommit: oc}
+					idx, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.ReferencePlacement = true
+					ref, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(idx, ref) {
+						t.Fatalf("indexed run diverged from reference:\nindexed   %+v\nreference %+v", *idx, *ref)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIndexedEngineMatchesReferencePartitioned covers the
+// priority-partitioned pools, where the index is split per partition.
+func TestIndexedEngineMatchesReferencePartitioned(t *testing.T) {
+	tr := testTrace(400)
+	cfg := Config{Trace: tr, Policy: policy.Priority{}, Partitioned: true, Overcommit: 0.5}
+	idx, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReferencePlacement = true
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idx, ref) {
+		t.Fatalf("partitioned indexed run diverged:\nindexed   %+v\nreference %+v", *idx, *ref)
+	}
+}
+
+// TestIndexedSweepMatchesReferenceAtAnyWorkerCount closes the loop with
+// the sweep layer: a parallel indexed sweep must equal a sequential
+// reference sweep — the index must not introduce any worker-count or
+// scheduling sensitivity.
+func TestIndexedSweepMatchesReferenceAtAnyWorkerCount(t *testing.T) {
+	tr := testTrace(250)
+	strategies := []string{StrategyProportional, StrategyPriority}
+	ocs := []float64{0, 40}
+
+	runSweep := func(workers int, reference bool) []*SweepResult {
+		t.Helper()
+		baseline, err := BaselineServerCount(tr, DefaultServerCapacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nOC := len(ocs)
+		points := make([]SweepPoint, len(strategies)*nOC)
+		errs := make([]error, len(points))
+		runJobs(len(points), Options{Workers: workers}.workers(len(points)), func(i int) {
+			cfg := strategyConfig(tr, strategies[i/nOC], baseline, ocs[i%nOC]/100)
+			cfg.ReferencePlacement = reference
+			res, err := Run(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			points[i] = SweepPoint{
+				OvercommitPct:      ocs[i%nOC],
+				FailureProbability: res.FailureProbability,
+				ThroughputLossPct:  res.ThroughputLoss * 100,
+				Revenue:            res.Revenue,
+				Servers:            res.Servers,
+			}
+		})
+		if err := firstError(errs); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]*SweepResult, len(strategies))
+		for si, s := range strategies {
+			out[si] = &SweepResult{Strategy: s, Points: points[si*nOC : (si+1)*nOC : (si+1)*nOC]}
+		}
+		return out
+	}
+
+	indexedPar := runSweep(8, false)
+	referenceSeq := runSweep(1, true)
+	if !reflect.DeepEqual(indexedPar, referenceSeq) {
+		t.Fatalf("parallel indexed sweep diverged from sequential reference sweep:\n%+v\n%+v",
+			dump(indexedPar), dump(referenceSeq))
+	}
+}

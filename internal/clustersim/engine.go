@@ -90,6 +90,7 @@ func (e *Engine) runDeflation() (*Result, error) {
 		PartitionByPriority: cfg.Partitioned,
 		PriorityLevels:      cfg.PriorityLevels,
 		Notify:              cfg.Notify,
+		ReferencePlacement:  cfg.ReferencePlacement,
 	}
 	e.mgr = cluster.NewManager(mgrCfg)
 	partitions := partitionPlan(cfg, e.nServers)
@@ -107,6 +108,12 @@ func (e *Engine) runDeflation() (*Result, error) {
 		e.queue.push(simEvent{at: trace.SampleInterval, kind: evSample})
 	}
 
+	// Reusable scratch for departure batching, so the hot loop does not
+	// allocate per event.
+	var (
+		batch []simEvent
+		names []string
+	)
 	for !e.queue.empty() {
 		ev := e.queue.pop()
 		switch ev.kind {
@@ -121,19 +128,39 @@ func (e *Engine) runDeflation() (*Result, error) {
 			e.res.Arrivals++
 			e.handleArrival(ev)
 		case evDeparture:
-			// Departures are scheduled only on admission and a VM
-			// leaves the running set only here, so the lookup cannot
-			// miss; it stays as a guard against future schedulers
-			// (e.g. preemption-style early removal) rather than a
-			// crash.
-			vt, ok := e.running[ev.vm.ID]
-			if !ok {
-				continue
+			// Coalesce the run of departures sharing this timestamp into
+			// one batched removal: the manager reinflates each affected
+			// server once instead of once per departing VM. The queue's
+			// (time, kind, seq) order guarantees the batch is exactly the
+			// simultaneous departures, in trace order.
+			batch = batch[:0]
+			batch = append(batch, ev)
+			for !e.queue.empty() {
+				next := e.queue.peek()
+				if next.at != ev.at || next.kind != evDeparture {
+					break
+				}
+				batch = append(batch, e.queue.pop())
 			}
-			e.closeVM(vt, ev.at)
-			delete(e.running, ev.vm.ID)
-			if err := e.mgr.RemoveVM(ev.vm.ID); err != nil {
-				return nil, err
+			names = names[:0]
+			for _, dev := range batch {
+				// Departures are scheduled only on admission and a VM
+				// leaves the running set only here, so the lookup cannot
+				// miss; it stays as a guard against future schedulers
+				// (e.g. preemption-style early removal) rather than a
+				// crash.
+				vt, ok := e.running[dev.vm.ID]
+				if !ok {
+					continue
+				}
+				e.closeVM(vt, dev.at)
+				delete(e.running, dev.vm.ID)
+				names = append(names, dev.vm.ID)
+			}
+			if len(names) > 0 {
+				if err := e.mgr.RemoveVMs(names...); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -184,14 +211,8 @@ func (e *Engine) handleArrival(ev simEvent) {
 	}
 
 	// Count reclamation attempts: would this placement need deflation?
-	needsReclaim := true
-	for _, s := range e.mgr.Servers() {
-		if dc.Size.FitsIn(s.Host.Capacity().Sub(s.Host.Allocated())) {
-			needsReclaim = false
-			break
-		}
-	}
-	if needsReclaim {
+	// The capacity index answers in O(log servers) instead of a scan.
+	if !e.mgr.FitsWithoutDeflation(dc.Size) {
 		e.res.ReclamationAttempts++
 	}
 

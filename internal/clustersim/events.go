@@ -90,6 +90,11 @@ func (q *eventQueue) push(e simEvent) { heap.Push(q, e) }
 // pop removes and returns the next event in (time, kind, seq) order.
 func (q *eventQueue) pop() simEvent { return heap.Pop(q).(simEvent) }
 
+// peek returns the next event without removing it. Callers must check
+// empty() first. The engine uses it to coalesce runs of same-timestamp
+// departures into one batched removal.
+func (q *eventQueue) peek() simEvent { return q.evs[0] }
+
 // empty reports whether any events remain.
 func (q *eventQueue) empty() bool { return len(q.evs) == 0 }
 

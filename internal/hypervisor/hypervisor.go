@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vmdeflate/internal/cgroups"
 	"vmdeflate/internal/guestos"
@@ -66,6 +67,15 @@ type HostConfig struct {
 	Capacity resources.Vector
 }
 
+// DefaultFloor is the mechanism-level minimum viable allocation: 1/20th
+// of a core and 64 MB, per the paper's observation that even a 0.05-CPU
+// microservice container keeps running. It is the deflation floor for
+// domains that configure no explicit MinAllocation, and the per-dimension
+// safety floor the mechanisms enforce on any target.
+func DefaultFloor() resources.Vector {
+	return resources.New(0.05, 64, 0, 0)
+}
+
 // DomainConfig describes a VM to be defined.
 type DomainConfig struct {
 	// Name identifies the domain on its host.
@@ -104,6 +114,39 @@ func (c *DomainConfig) validate() error {
 	return nil
 }
 
+// Floor returns the configuration's deflation floor: the configured
+// MinAllocation (the QoS floor m_i of equation (2)), or DefaultFloor
+// capped by the nominal size when none is set.
+func (c DomainConfig) Floor() resources.Vector {
+	if !c.MinAllocation.IsZero() {
+		return c.MinAllocation
+	}
+	return DefaultFloor().Min(c.Size)
+}
+
+// Aggregates is the host's resource accounting, maintained as a cache so
+// that reading it is O(1) between mutations instead of a walk over every
+// domain. The cached value is always bit-for-bit identical to a fresh
+// name-order recomputation (the recompute itself iterates domains sorted
+// by name), so consumers that depend on PR 1's float-summation
+// determinism invariant can use it freely.
+type Aggregates struct {
+	// Committed is the sum of nominal sizes of all defined domains: the
+	// numerator of the cluster overcommitment ratio (Section 1).
+	Committed resources.Vector
+	// Allocated is the sum of current (possibly deflated) allocations of
+	// running domains: physical resources actually promised right now.
+	Allocated resources.Vector
+	// DeflatableReserve is the total resource reclaimable from running
+	// deflatable domains: sum of (allocation - floor), clamped at zero —
+	// the deflatable_j term of the paper's availability vector.
+	DeflatableReserve resources.Vector
+	// Running counts running domains; Deflated counts running deflatable
+	// domains currently below their nominal size (DeflationFraction > 0).
+	Running  int
+	Deflated int
+}
+
 // Host is one simulated physical server running a KVM hypervisor.
 type Host struct {
 	cfg     HostConfig
@@ -111,12 +154,32 @@ type Host struct {
 	mu      sync.Mutex
 	domains map[string]*Domain
 	// order holds the domains sorted by name. Keeping it materialised
-	// (rather than sorting in Domains()) makes the aggregate walks below
-	// iterate in a fixed order, which keeps float summations like
+	// (rather than sorting in Domains()) makes the aggregate recompute
+	// below iterate in a fixed order, which keeps float summations like
 	// Allocated() bit-for-bit reproducible — map iteration order would
 	// perturb the low bits run to run and break the simulator's
 	// determinism guarantee.
 	order []*Domain
+
+	// Aggregate cache. aggDirty is set (and the change callback fired) by
+	// every mutation that can move an aggregate — define/undefine,
+	// start/shutdown, cgroup limit changes, hotplug — and the next
+	// Aggregates() read recomputes. aggMu orders recomputes and guards
+	// agg/aggValid; the lock order is aggMu -> mu -> Domain.mu, and
+	// invalidation takes none of them (atomic flag + leaf callback), so
+	// mutators that already hold mu or a Domain lock can invalidate
+	// without deadlock.
+	aggMu    sync.Mutex
+	aggValid bool
+	agg      Aggregates
+	aggDirty atomic.Bool
+
+	// onChange, when set, is called after every aggregate invalidation.
+	// It may run while host or domain locks are held: implementations
+	// must only record dirtiness (e.g. add the host to a dirty set) and
+	// never call back into Host or Domain methods.
+	cbMu     sync.Mutex
+	onChange func()
 }
 
 // NewHost boots a hypervisor on a server with the given capacity.
@@ -142,6 +205,73 @@ func (h *Host) Name() string { return h.cfg.Name }
 
 // Capacity returns the host's physical resources.
 func (h *Host) Capacity() resources.Vector { return h.cfg.Capacity }
+
+// OnAggregateChange registers fn to be called whenever the host's
+// aggregates are invalidated (any define/undefine, lifecycle transition,
+// limit change or hotplug). The callback may fire while host or domain
+// locks are held, so it must only record dirtiness — typically marking
+// the host in a cluster-level dirty set — and must not call back into
+// Host or Domain methods. Passing nil unregisters.
+func (h *Host) OnAggregateChange(fn func()) {
+	h.cbMu.Lock()
+	h.onChange = fn
+	h.cbMu.Unlock()
+}
+
+// invalidateAggregates flags the cache stale and notifies the registered
+// callback. It takes no host or domain locks, so any mutator may call it
+// regardless of what it already holds.
+func (h *Host) invalidateAggregates() {
+	h.aggDirty.Store(true)
+	h.cbMu.Lock()
+	fn := h.onChange
+	h.cbMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Aggregates returns the host's cached resource aggregates, recomputing
+// them (one name-order walk) only if a mutation happened since the last
+// read. Between mutations this is O(1), which is what makes per-arrival
+// cluster scans affordable at scale.
+func (h *Host) Aggregates() Aggregates {
+	h.aggMu.Lock()
+	defer h.aggMu.Unlock()
+	if h.aggDirty.Swap(false) || !h.aggValid {
+		h.agg = h.recomputeAggregates()
+		h.aggValid = true
+	}
+	return h.agg
+}
+
+// recomputeAggregates walks the domains in name order — the fixed
+// iteration order that keeps the float summations reproducible — and
+// rebuilds every aggregate from scratch. Called with aggMu held.
+func (h *Host) recomputeAggregates() Aggregates {
+	h.mu.Lock()
+	order := make([]*Domain, len(h.order))
+	copy(order, h.order)
+	h.mu.Unlock()
+	var a Aggregates
+	for _, d := range order {
+		a.Committed = a.Committed.Add(d.cfg.Size)
+		if d.State() != Running {
+			continue
+		}
+		a.Running++
+		alloc := d.Allocation()
+		a.Allocated = a.Allocated.Add(alloc)
+		if !d.cfg.Deflatable {
+			continue
+		}
+		a.DeflatableReserve = a.DeflatableReserve.Add(alloc.Sub(d.Floor()).ClampNonNegative())
+		if alloc.DeflationFraction(d.cfg.Size) > 0 {
+			a.Deflated++
+		}
+	}
+	return a
+}
 
 // Define creates a domain. Defining does not reserve physical resources:
 // like a real IaaS hypervisor, the host permits overcommitment, which is
@@ -179,6 +309,7 @@ func (h *Host) Define(cfg DomainConfig) (*Domain, error) {
 	h.order = append(h.order, nil)
 	copy(h.order[i+1:], h.order[i:])
 	h.order[i] = d
+	h.invalidateAggregates()
 	return d, nil
 }
 
@@ -220,35 +351,23 @@ func (h *Host) Undefine(name string) error {
 	delete(h.domains, name)
 	i := sort.Search(len(h.order), func(i int) bool { return h.order[i].cfg.Name >= name })
 	h.order = append(h.order[:i], h.order[i+1:]...)
+	h.invalidateAggregates()
 	return nil
 }
 
 // Committed returns the sum of the nominal sizes of all defined domains:
-// the numerator of the cluster overcommitment ratio (Section 1).
+// the numerator of the cluster overcommitment ratio (Section 1). Served
+// from the aggregate cache.
 func (h *Host) Committed() resources.Vector {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	var sum resources.Vector
-	for _, d := range h.order {
-		sum = sum.Add(d.cfg.Size)
-	}
-	return sum
+	return h.Aggregates().Committed
 }
 
 // Allocated returns the sum of the current (possibly deflated) allocations
 // of running domains: physical resources actually promised right now.
+// Served from the aggregate cache; the underlying summation is always in
+// name order so the low bits are reproducible.
 func (h *Host) Allocated() resources.Vector {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	var sum resources.Vector
-	// Name order, not map order: deflated allocations are fractional, so
-	// the summation order must be fixed for reproducible low bits.
-	for _, d := range h.order {
-		if d.State() == Running {
-			sum = sum.Add(d.Allocation())
-		}
-	}
-	return sum
+	return h.Aggregates().Allocated
 }
 
 // Available returns Capacity - Allocated, clamped at zero.
@@ -312,6 +431,7 @@ func (d *Domain) Start() error {
 		return fmt.Errorf("%w: %s already running", ErrState, d.cfg.Name)
 	}
 	d.state = Running
+	d.host.invalidateAggregates()
 	return nil
 }
 
@@ -323,6 +443,7 @@ func (d *Domain) Shutdown() error {
 		return fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
 	d.state = Shutoff
+	d.host.invalidateAggregates()
 	return nil
 }
 
@@ -331,6 +452,12 @@ func (d *Domain) MaxSize() resources.Vector { return d.cfg.Size }
 
 // MinAllocation returns the QoS floor m_i (zero vector if none).
 func (d *Domain) MinAllocation() resources.Vector { return d.cfg.MinAllocation }
+
+// Floor returns the domain's deflation floor: its configured minimum
+// allocation, or DefaultFloor capped by the nominal size when none is
+// set. This is the single definition shared by the cluster policies and
+// the host's deflatable-reserve aggregate.
+func (d *Domain) Floor() resources.Vector { return d.cfg.Floor() }
 
 // Deflatable reports whether the domain may be deflated.
 func (d *Domain) Deflatable() bool { return d.cfg.Deflatable }
@@ -366,11 +493,21 @@ func (d *Domain) DeflationFraction() float64 {
 
 // --- Transparent deflation knobs (cgroup-backed, Section 4.2) ---
 
+// setLimit engages one cgroup controller and invalidates the host's
+// aggregate cache (a limit change can move the effective allocation).
+func (d *Domain) setLimit(k resources.Kind, v float64) error {
+	if err := d.cg.SetLimit(k, v); err != nil {
+		return err
+	}
+	d.host.invalidateAggregates()
+	return nil
+}
+
 // SetCPUShares caps the domain's CPU consumption at cores physical cores
 // by adjusting its cgroup CPU bandwidth. The guest still sees all its
 // vCPUs; they just run slower.
 func (d *Domain) SetCPUShares(cores float64) error {
-	return d.cg.SetLimit(resources.CPU, cores)
+	return d.setLimit(resources.CPU, cores)
 }
 
 // SetMemoryLimit caps the domain's physical memory at mb via the memory
@@ -378,17 +515,17 @@ func (d *Domain) SetCPUShares(cores float64) error {
 // set, the hypervisor swaps: the guest is unaware and performance
 // suffers (see SwapPressure).
 func (d *Domain) SetMemoryLimit(mb float64) error {
-	return d.cg.SetLimit(resources.Memory, mb)
+	return d.setLimit(resources.Memory, mb)
 }
 
 // SetDiskLimit throttles disk bandwidth (blkio cgroup).
 func (d *Domain) SetDiskLimit(mbps float64) error {
-	return d.cg.SetLimit(resources.DiskBW, mbps)
+	return d.setLimit(resources.DiskBW, mbps)
 }
 
 // SetNetLimit throttles network bandwidth.
 func (d *Domain) SetNetLimit(mbps float64) error {
-	return d.cg.SetLimit(resources.NetBW, mbps)
+	return d.setLimit(resources.NetBW, mbps)
 }
 
 // ClearTransparentLimits removes all cgroup caps (full reinflation of the
@@ -397,6 +534,7 @@ func (d *Domain) ClearTransparentLimits() {
 	for _, k := range resources.Kinds {
 		d.cg.ClearLimit(k)
 	}
+	d.host.invalidateAggregates()
 }
 
 // --- Explicit deflation knobs (agent-based hotplug, Section 4.3) ---
@@ -409,7 +547,9 @@ func (d *Domain) HotUnplugVCPUs(n int) (int, error) {
 	if d.state != Running {
 		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
-	return d.guest.UnplugVCPUs(n)
+	n, err := d.guest.UnplugVCPUs(n)
+	d.host.invalidateAggregates()
+	return n, err
 }
 
 // HotPlugVCPUs asks the guest to online n vCPUs (bounded by the domain's
@@ -420,7 +560,9 @@ func (d *Domain) HotPlugVCPUs(n int) (int, error) {
 	if d.state != Running {
 		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
-	return d.guest.PlugVCPUs(n)
+	n, err := d.guest.PlugVCPUs(n)
+	d.host.invalidateAggregates()
+	return n, err
 }
 
 // HotUnplugMemory asks the guest to release up to mb of memory. The guest
@@ -432,7 +574,9 @@ func (d *Domain) HotUnplugMemory(mb float64) (float64, error) {
 	if d.state != Running {
 		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
-	return d.guest.UnplugMemory(mb)
+	mb, err := d.guest.UnplugMemory(mb)
+	d.host.invalidateAggregates()
+	return mb, err
 }
 
 // HotPlugMemory returns memory to the guest (bounded by the domain's
@@ -443,7 +587,9 @@ func (d *Domain) HotPlugMemory(mb float64) (float64, error) {
 	if d.state != Running {
 		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
-	return d.guest.PlugMemory(mb)
+	mb, err := d.guest.PlugMemory(mb)
+	d.host.invalidateAggregates()
+	return mb, err
 }
 
 // --- Performance-relevant introspection ---

@@ -41,13 +41,14 @@ func clampTarget(d *hypervisor.Domain, target resources.Vector) (resources.Vecto
 		return resources.Vector{}, fmt.Errorf("%w: %v", ErrTarget, err)
 	}
 	t := target.Clamp(d.MinAllocation(), d.MaxSize())
-	// Floor: 1/20th of a core and 64 MB, per the paper's observation that
-	// even a 0.05-CPU microservice container keeps running.
-	if t.Get(resources.CPU) < 0.05 {
-		t = t.With(resources.CPU, 0.05)
+	// Per-dimension safety floor (hypervisor.DefaultFloor): even a
+	// 0.05-CPU / 64 MB microservice container keeps running.
+	floor := hypervisor.DefaultFloor()
+	if cpu := floor.Get(resources.CPU); t.Get(resources.CPU) < cpu {
+		t = t.With(resources.CPU, cpu)
 	}
-	if t.Get(resources.Memory) < 64 {
-		t = t.With(resources.Memory, 64)
+	if mem := floor.Get(resources.Memory); t.Get(resources.Memory) < mem {
+		t = t.With(resources.Memory, mem)
 	}
 	return t.Min(d.MaxSize()), nil
 }
