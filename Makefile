@@ -1,11 +1,12 @@
 # Developer/CI entry points. `make ci` is what the GitHub Actions
 # workflow runs: vet, race-enabled tests, a one-shot smoke of the
-# parallel sweep benchmark, and the 50k-VM capacity-index scale smoke
-# (whose BENCH_scale.json report CI archives as a build artifact).
+# parallel sweep benchmark, the zero-allocation gate on the placement
+# policy hot path, and the 50k-VM capacity-index scale smoke (whose
+# BENCH_scale.json report CI archives as a build artifact).
 
 GO ?= go
 
-.PHONY: build test vet race bench-smoke bench-scale bench ci
+.PHONY: build test vet race bench-smoke bench-allocs bench-scale bench-scale-1m bench ci
 
 build:
 	$(GO) build ./...
@@ -24,14 +25,30 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Sweep10k' -benchtime 1x .
 
+# Zero-allocation gate: the steady-state PlaceOn/Reinflate policy pass
+# must report 0 allocs/op, or the build fails. The benchmark output is
+# kept in BENCH_allocs.txt for CI to archive.
+bench-allocs:
+	$(GO) test -run '^$$' -bench 'PolicyPassSteadyState' -benchmem ./internal/cluster | tee BENCH_allocs.txt
+	@awk '/^BenchmarkPolicyPassSteadyState/ { found = 1; allocs = $$(NF-1) + 0; \
+		if (allocs > 0) { failed = 1; print "FAIL: policy pass allocates " allocs " allocs/op (want 0)" } } \
+		END { if (!found) { print "FAIL: BenchmarkPolicyPassSteadyState did not run"; exit 1 } \
+		if (failed) exit 1; \
+		print "OK: steady-state policy pass at 0 allocs/op" }' BENCH_allocs.txt
+
 # Cloud-scale single-run smoke: one 50k-VM deflation run through the
-# capacity-indexed manager, reported to BENCH_scale.json so the perf
-# trajectory is tracked PR-over-PR.
+# capacity-indexed manager (sharded across all cores), reported to
+# BENCH_scale.json so the perf trajectory is tracked PR-over-PR.
 bench-scale:
 	$(GO) run ./cmd/benchreport -scale 50000 -scaleout BENCH_scale.json
+
+# The 1M-VM point: an order of magnitude past the CI smoke, for
+# measuring the zero-alloc + sharded engine at full cloud scale.
+bench-scale-1m:
+	$(GO) run ./cmd/benchreport -scale 1000000 -scaleout BENCH_scale_1m.json
 
 # The full reproduction benchmark suite (all figures).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-ci: build vet race bench-smoke bench-scale
+ci: build vet race bench-smoke bench-allocs bench-scale

@@ -9,11 +9,14 @@
 //	benchreport -quick     # smaller traces / shorter runs
 //	benchreport -scale 50000                 # cloud-scale single-run smoke
 //	benchreport -scale 50000 -scaleout BENCH_scale.json
+//	benchreport -scale 1000000               # the 1M-VM point (sharded)
+//	benchreport -scale 100000 -shards 1      # force a sequential run
 //
 // The -scale mode runs one deflation-mode simulation at the given VM
-// count through the capacity-indexed manager and writes a small JSON
-// report (wall time, events/s, admission counts) for CI to archive, so
-// the perf trajectory is tracked PR-over-PR.
+// count through the capacity-indexed manager — sharded across all cores
+// by default (results are shard-count-invariant) — and writes a small
+// JSON report (wall time, events/s, admission counts) for CI to
+// archive, so the perf trajectory is tracked PR-over-PR.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -36,6 +40,7 @@ type scaleReport struct {
 	Scenario     string  `json:"scenario"`
 	Servers      int     `json:"servers"`
 	Overcommit   float64 `json:"overcommit"`
+	Shards       int     `json:"shards"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	TraceSeconds float64 `json:"trace_gen_seconds"`
 	Admitted     int     `json:"admitted"`
@@ -45,9 +50,14 @@ type scaleReport struct {
 
 // runScale executes the cloud-scale single-run smoke: one heavy-tail
 // trace of n VMs, cluster sized by the cheap peak-demand bound, one
-// indexed deflation run, report written as JSON.
-func runScale(n int, seed int64, outPath string) {
-	fmt.Printf("== scale smoke: %d-VM single deflation run\n", n)
+// indexed deflation run sharded across `shards` goroutines (0 = all
+// cores; the Result is identical at any shard count), report written as
+// JSON.
+func runScale(n, shards int, seed int64, outPath string) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("== scale smoke: %d-VM single deflation run (%d shards)\n", n, shards)
 	t0 := time.Now()
 	tr, err := trace.GenerateScenario(trace.ScenarioConfig{
 		Kind: trace.ScenarioHeavyTail, NumVMs: n, Duration: 3 * 86400, Seed: seed,
@@ -62,7 +72,7 @@ func runScale(n int, seed int64, outPath string) {
 	}
 	t1 := time.Now()
 	res, err := clustersim.Run(clustersim.Config{
-		Trace: tr, Overcommit: 0.5, BaselineServers: base,
+		Trace: tr, Overcommit: 0.5, BaselineServers: base, Shards: shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,6 +83,7 @@ func runScale(n int, seed int64, outPath string) {
 		Scenario:     "heavytail",
 		Servers:      res.Servers,
 		Overcommit:   0.5,
+		Shards:       shards,
 		WallSeconds:  wall.Seconds(),
 		TraceSeconds: genDur.Seconds(),
 		Admitted:     res.Admitted,
@@ -100,10 +111,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	scale := flag.Int("scale", 0, "run only the cloud-scale single-run smoke at this VM count")
 	scaleOut := flag.String("scaleout", "BENCH_scale.json", "where -scale writes its JSON report")
+	shards := flag.Int("shards", 0, "intra-run shard count for -scale (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	if *scale > 0 {
-		runScale(*scale, *seed, *scaleOut)
+		runScale(*scale, *shards, *seed, *scaleOut)
 		return
 	}
 

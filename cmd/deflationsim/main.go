@@ -13,6 +13,8 @@
 //	deflationsim -workers 1                            # force sequential
 //	deflationsim -azure azure.csv
 //	deflationsim -vms 100000 -cpuprofile cpu.pprof     # diagnose scale regressions
+//	deflationsim -vms 1000000 -shards 0 -oc 50 -strategies proportional
+//	                                # one giant run sharded across all cores
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic trace seed")
 	replicates := flag.Int("replicates", 1, "independently seeded traces to average over (synthetic only)")
 	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
+	shards := flag.Int("shards", 1, "intra-run shard count per simulation (0 = all cores, 1 = sequential); results are shard-count-invariant")
 	ocList := flag.String("oc", "0,10,20,30,40,50,60,70", "overcommitment percentages")
 	strategies := flag.String("strategies", strings.Join(clustersim.Strategies, ","),
 		"comma-separated strategies")
@@ -74,7 +77,10 @@ func main() {
 
 	strats := splitStrategies(*strategies)
 	ocs := parseFloats(*ocList)
-	opts := clustersim.Options{Workers: *workers}
+	if *shards <= 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	opts := clustersim.Options{Workers: *workers, Shards: *shards}
 
 	var results []*clustersim.SweepResult
 	switch {

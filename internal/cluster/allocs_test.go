@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/mechanism"
+	"vmdeflate/internal/policy"
+	"vmdeflate/internal/resources"
+)
+
+// steadyStateServer builds a standalone server (the noded shape: no
+// manager) filled to capacity with deflatable residents, so that every
+// deflateFor/Reinflate cycle exercises a full policy pass.
+func steadyStateServer(tb testing.TB, pol policy.Policy) (*Server, Config) {
+	tb.Helper()
+	h, err := hypervisor.NewHost(hypervisor.HostConfig{
+		Name:     "node-0",
+		Capacity: resources.CPUMem(48, 131072),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := &Server{Host: h, Partition: -1}
+	cfg := Config{Policy: pol, Mechanism: mechanism.Transparent{}}.WithDefaults()
+	for i := 0; i < 6; i++ {
+		dc := hypervisor.DomainConfig{
+			Name:       fmt.Sprintf("resident-%d", i),
+			Size:       resources.CPUMem(8, 16384),
+			Deflatable: true,
+			Priority:   []float64{0.25, 0.5, 0.75, 1.0}[i%4],
+		}
+		if _, _, err := PlaceOn(s, cfg, dc); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return s, cfg
+}
+
+// policyPassCycle is one steady-state hot-path iteration: the deflation
+// policy pass that would make room for a 16-core on-demand arrival
+// (deflateFor — everything PlaceOn does except defining the domain,
+// which inherently allocates), followed by the reinflation pass a
+// departure would trigger. The server returns to its initial state, so
+// the cycle can repeat indefinitely.
+func policyPassCycle(tb testing.TB, s *Server, cfg Config) {
+	od := hypervisor.DomainConfig{Name: "od", Size: resources.CPUMem(16, 32768)}
+	if _, _, err := deflateFor(s, cfg, od); err != nil {
+		tb.Fatal(err)
+	}
+	if err := Reinflate(s, cfg); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestPolicyPassSteadyStateZeroAllocs is the allocation-regression
+// guard for the placement hot path: once the per-server scratch arena
+// and the host's cached VM-state view are warm, the PlaceOn deflation
+// pass and Reinflate must perform zero heap allocations, for every
+// policy. (Full PlaceOn additionally defines and starts a domain, which
+// allocates by nature; the policy pass is the part that runs once per
+// pressured arrival and departure at cloud scale.)
+func TestPolicyPassSteadyStateZeroAllocs(t *testing.T) {
+	for _, pol := range []policy.Policy{policy.Proportional{}, policy.Priority{}, policy.Deterministic{}} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			s, cfg := steadyStateServer(t, pol)
+			policyPassCycle(t, s, cfg) // warm the arenas
+			got := testing.AllocsPerRun(200, func() {
+				policyPassCycle(t, s, cfg)
+			})
+			if got != 0 {
+				t.Errorf("steady-state PlaceOn/Reinflate policy pass allocates %.1f allocs/op, want 0", got)
+			}
+		})
+	}
+}
+
+// TestReinflateAloneZeroAllocs pins the departure path by itself: with
+// residents deflated, a single Reinflate (including its early-exit
+// aggregate read) must not allocate.
+func TestReinflateAloneZeroAllocs(t *testing.T) {
+	s, cfg := steadyStateServer(t, policy.Proportional{})
+	od := hypervisor.DomainConfig{Name: "od", Size: resources.CPUMem(16, 32768)}
+	if _, _, err := deflateFor(s, cfg, od); err != nil {
+		t.Fatal(err)
+	}
+	// First reinflation returns everyone to full; subsequent calls hit
+	// the Deflated==0 early exit. Both must be allocation-free.
+	if got := testing.AllocsPerRun(1, func() {
+		if err := Reinflate(s, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("full reinflation pass allocates %.1f allocs/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if err := Reinflate(s, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("no-op reinflation allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+// BenchmarkPolicyPassSteadyState is the placement benchmark CI's alloc
+// smoke watches: `-benchmem` must report 0 allocs/op or the make target
+// fails the build. It measures the same deflate+reinflate cycle as the
+// AllocsPerRun tests, so ns/op here is the per-pass latency the 1M-VM
+// runs pay on every pressured arrival and departure.
+func BenchmarkPolicyPassSteadyState(b *testing.B) {
+	s, cfg := steadyStateServer(b, policy.Proportional{})
+	policyPassCycle(b, s, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policyPassCycle(b, s, cfg)
+	}
+}

@@ -219,6 +219,11 @@ func ascend(n *node, lower float64, visit func(string, float64) bool) bool {
 type DirtySet struct {
 	mu    sync.Mutex
 	names map[string]struct{}
+	// buf is the reusable drain buffer: the set has a single consumer
+	// (the cluster manager, under its own lock), so Drain can hand back
+	// the same backing array every time and the per-query refresh stays
+	// allocation-free between bursts of churn.
+	buf []string
 }
 
 // NewDirtySet returns an empty set.
@@ -242,17 +247,19 @@ func (s *DirtySet) Len() int {
 
 // Drain removes and returns all marked names in sorted order. It returns
 // nil when nothing is dirty, so hot paths can skip refresh work without
-// allocating.
+// allocating. The returned slice is backed by the set's reusable buffer
+// and is valid only until the next Drain.
 func (s *DirtySet) Drain() []string {
 	s.mu.Lock()
 	if len(s.names) == 0 {
 		s.mu.Unlock()
 		return nil
 	}
-	out := make([]string, 0, len(s.names))
+	out := s.buf[:0]
 	for n := range s.names {
 		out = append(out, n)
 	}
+	s.buf = out
 	clear(s.names)
 	s.mu.Unlock()
 	sort.Strings(out)

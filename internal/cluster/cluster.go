@@ -34,15 +34,18 @@ import (
 )
 
 // applyAndNotify applies target to d via cfg.Mechanism and publishes an
-// allocation-change event when a bus is configured.
-func applyAndNotify(s *Server, cfg Config, d *hypervisor.Domain, target resources.Vector) error {
+// allocation-change event when a bus is configured. When buf is non-nil
+// the event is appended there instead of published — the parallel
+// reinflation path buffers per-server events and publishes them merged
+// in deterministic server order after its barrier.
+func applyAndNotify(s *Server, cfg Config, d *hypervisor.Domain, target resources.Vector, buf *[]notify.Event) error {
 	old := d.Allocation()
 	got, err := cfg.Mechanism.Apply(d, target)
 	if err != nil {
 		return err
 	}
 	if cfg.Notify != nil && got != old {
-		cfg.Notify.Publish(notify.Event{
+		ev := notify.Event{
 			VM:                d.Name(),
 			Server:            s.Host.Name(),
 			Kind:              notify.Classify(old, got),
@@ -50,7 +53,12 @@ func applyAndNotify(s *Server, cfg Config, d *hypervisor.Domain, target resource
 			New:               got,
 			DeflationFraction: d.DeflationFraction(),
 			Mechanism:         d.DeflatedBy(),
-		})
+		}
+		if buf != nil {
+			*buf = append(*buf, ev)
+		} else {
+			cfg.Notify.Publish(ev)
+		}
 	}
 	return nil
 }
@@ -90,6 +98,14 @@ type Config struct {
 	// bit-for-bit identical placements; the flag exists for differential
 	// testing and for measuring what the index buys.
 	ReferencePlacement bool
+	// ReinflateShards caps how many goroutines a RemoveVMs batch may use
+	// to reinflate its affected servers. 0 or 1 keeps reinflation
+	// strictly sequential. Per-server reinflation reads and writes only
+	// that server's host state, so the results are bit-for-bit identical
+	// at any shard count; notification events are buffered per server
+	// and published in the same deterministic first-touched server order
+	// the sequential path uses.
+	ReinflateShards int
 }
 
 func (c *Config) applyDefaults() {
@@ -126,6 +142,25 @@ type Server struct {
 	free      resources.Vector      // capacity - allocated
 	freeShare float64               // free.DominantShare(capacity): the index key
 	avail     resources.Vector      // the Section 5.2 availability vector
+
+	// scratch is the server's policy-pass arena: the VM-state/domain
+	// buffers PlaceOn and Reinflate fill from the host's cached view,
+	// plus the policy.Scratch the water-filling solvers run in. One
+	// arena per server means concurrent passes on distinct servers
+	// (parallel reinflation shards) never contend, and steady-state
+	// passes never allocate. Guarded by whatever serialises passes on
+	// this server: the Manager's lock, or the shard assignment that
+	// gives each server to exactly one worker.
+	scratch serverScratch
+}
+
+// serverScratch holds the reusable buffers for one server's policy
+// passes.
+type serverScratch struct {
+	vms    []policy.VMState
+	doms   []*hypervisor.Domain
+	ps     policy.Scratch
+	events []notify.Event // parallel-reinflation event buffer
 }
 
 // Manager is the centralized cluster manager. All methods are safe for
@@ -161,6 +196,14 @@ type Manager struct {
 	// callers race against PlaceVM.
 	deflationEvents int
 	rejections      int
+
+	// cands is the reusable under-pressure candidate buffer; affected
+	// and reinflateErrs are the RemoveVMs batch buffers. All are used
+	// only under mu, so reusing them keeps the hot paths allocation-free
+	// in steady state.
+	cands         candList
+	affected      []*Server
+	reinflateErrs []error
 }
 
 // DeflationEvents returns how many times an existing VM's allocation
@@ -356,7 +399,7 @@ func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Serv
 	// availability vectors (refreshed above for dirty servers only); the
 	// reference path recomputes them from the host aggregates, which is
 	// bit-equal.
-	var cands candList
+	cands := m.cands[:0]
 	for _, s := range m.servers {
 		if part >= 0 && s.Partition != part {
 			continue
@@ -367,21 +410,77 @@ func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Serv
 		}
 		cands = append(cands, cand{s, Fitness(dc.Size, avail), len(cands)})
 	}
-	sort.Sort(cands)
+	m.cands = cands
 
-	for _, c := range cands {
-		if c.s == best {
-			continue // already tried above
+	// The newcomer's own deflatable range joins every server's maximum
+	// reclaim for the feasibility pre-filter below.
+	var ncRange resources.Vector
+	if dc.Deflatable {
+		ncRange = dc.Size.Sub(dc.Floor()).ClampNonNegative()
+	}
+
+	// The visit order is (fitness desc, idx asc) — but the top-ranked
+	// server absorbs the newcomer in the overwhelmingly common case, so
+	// the full O(S log S) sort is deferred: try the argmax first (one
+	// linear scan; ascending scan with strict > keeps the idx asc
+	// tie-break), and only if that server cannot make room sort the
+	// whole list and continue from rank 1. The sequence of servers
+	// tried is exactly the sorted order either way.
+	first := -1
+	for i := range cands {
+		if first < 0 || cands[i].fitness > cands[first].fitness {
+			first = i
 		}
-		d, deflations, err := PlaceOn(c.s, m.cfg, dc)
-		if err == nil {
-			m.deflationEvents += deflations
-			m.placements[dc.Name] = c.s
-			return d, c.s, nil
+	}
+	if first >= 0 && cands[first].s != best {
+		if d, s, ok := m.tryPlaceLocked(cands[first].s, dc, ncRange); ok {
+			return d, s, nil
+		}
+	}
+	if first >= 0 {
+		sort.Sort(&m.cands)
+		for rank, c := range m.cands {
+			if c.s == best || rank == 0 {
+				continue // already tried above (argmax == rank 0)
+			}
+			if d, s, ok := m.tryPlaceLocked(c.s, dc, ncRange); ok {
+				return d, s, nil
+			}
 		}
 	}
 	m.rejections++
 	return nil, nil, fmt.Errorf("%w: %s (size %v)", ErrNoCapacity, dc.Name, dc.Size)
+}
+
+// reserveMargin pads the feasibility pre-filter so it can only skip
+// servers the policy pass would certainly refuse: the pass accepts when
+// it frees need within 1e-6, and its freed amount can differ from the
+// cached reserve bound only by accumulated float round-off, orders of
+// magnitude below this margin.
+const reserveMargin = 1e-3
+
+// tryPlaceLocked attempts one under-pressure placement, recording the
+// bookkeeping on success. Infeasible servers — where even deflating
+// every resident to its floor plus the newcomer's own range cannot
+// cover the shortfall — are skipped from the cached aggregates without
+// running the policy pass, which turns an admission-control rejection
+// from O(servers × policy pass) into O(servers) vector compares.
+// Called with m.mu held; the cached free/reserve vectors are valid
+// because failed placement attempts never mutate host state.
+func (m *Manager) tryPlaceLocked(s *Server, dc hypervisor.DomainConfig, ncRange resources.Vector) (*hypervisor.Domain, *Server, bool) {
+	limit := s.agg.DeflatableReserve.Add(ncRange)
+	for _, k := range resources.Kinds {
+		if dc.Size.Get(k)-s.free.Get(k) > limit.Get(k)+reserveMargin {
+			return nil, nil, false
+		}
+	}
+	d, deflations, err := PlaceOn(s, m.cfg, dc)
+	if err != nil {
+		return nil, nil, false
+	}
+	m.deflationEvents += deflations
+	m.placements[dc.Name] = s
+	return d, s, true
 }
 
 // cand is one under-pressure placement candidate. idx is the pool
@@ -487,37 +586,43 @@ func (m *Manager) FitsWithoutDeflation(size resources.Vector) bool {
 // controller daemon (cmd/noded).
 func PlaceOn(s *Server, cfg Config, dc hypervisor.DomainConfig) (*hypervisor.Domain, int, error) {
 	cfg.applyDefaults()
+	initial, deflations, err := deflateFor(s, cfg, dc)
+	if err != nil {
+		return nil, deflations, err // insufficient: caller tries the next server
+	}
+	d, err := launch(s, cfg, dc, initial)
+	return d, deflations, err
+}
+
+// newcomerName is the placeholder under which a deflatable newcomer
+// joins its own admission's policy pass. The NUL prefix cannot collide
+// with a real domain name.
+const newcomerName = "\x00newcomer"
+
+// deflateFor is PlaceOn's policy pass: it computes and applies the
+// deflation that makes room for dc on s, and returns the newcomer's
+// initial allocation. The pass reads the host's cached VM-state view
+// and runs the policy through the server's scratch arena, then applies
+// targets in the view's name order — so steady-state calls perform zero
+// heap allocations and notification delivery is deterministic.
+func deflateFor(s *Server, cfg Config, dc hypervisor.DomainConfig) (resources.Vector, int, error) {
 	free := s.Host.Capacity().Sub(s.Host.Allocated())
 	need := dc.Size.Sub(free).ClampNonNegative()
-
 	if need.IsZero() {
 		// Room available without any deflation.
-		d, err := launch(s, cfg, dc, dc.Size)
-		return d, 0, err
+		return dc.Size, 0, nil
 	}
 
-	// Collect deflatable VMs; the newcomer joins the pool if it is
-	// itself deflatable ("a new incoming VM ... can thus start its
-	// execution in a deflated mode", Section 5.1.1).
-	var vms []policy.VMState
-	domains := map[string]*hypervisor.Domain{}
-	for _, d := range s.Host.Domains() {
-		if d.State() != hypervisor.Running || !d.Deflatable() {
-			continue
-		}
-		vms = append(vms, policy.VMState{
-			Name:     d.Name(),
-			Max:      d.MaxSize(),
-			Min:      d.Floor(),
-			Priority: d.Priority(),
-			Current:  d.Allocation(),
-		})
-		domains[d.Name()] = d
-	}
-	const newcomer = "\x00newcomer"
+	// Collect deflatable VMs from the host's cached view; the newcomer
+	// joins the pool if it is itself deflatable ("a new incoming VM ...
+	// can thus start its execution in a deflated mode", Section 5.1.1).
+	sc := &s.scratch
+	sc.vms, sc.doms = sc.vms[:0], sc.doms[:0]
+	sc.vms, sc.doms = s.Host.AppendDeflatableView(sc.vms, sc.doms)
+	nResident := len(sc.vms)
 	if dc.Deflatable {
-		vms = append(vms, policy.VMState{
-			Name:     newcomer,
+		sc.vms = append(sc.vms, policy.VMState{
+			Name:     newcomerName,
 			Max:      dc.Size,
 			Min:      dc.Floor(),
 			Priority: dc.Priority,
@@ -525,31 +630,27 @@ func PlaceOn(s *Server, cfg Config, dc hypervisor.DomainConfig) (*hypervisor.Dom
 		})
 	}
 
-	res, err := cfg.Policy.Targets(vms, need)
+	res, err := cfg.Policy.TargetsInto(sc.vms, need, &sc.ps)
 	if err != nil {
-		return nil, 0, err // insufficient: caller tries the next server
+		return resources.Vector{}, 0, err
 	}
 
-	// Apply deflation to resident VMs.
+	// Apply deflation to resident VMs, in the view's name order.
 	deflations := 0
-	for name, target := range res.Targets {
-		if name == newcomer {
-			continue
-		}
-		d := domains[name]
-		if target.DeflationFraction(d.Allocation()) > 1e-9 {
+	for i := 0; i < nResident; i++ {
+		d := sc.doms[i]
+		if res.Targets[i].DeflationFraction(d.Allocation()) > 1e-9 {
 			deflations++
 		}
-		if err := applyAndNotify(s, cfg, d, target); err != nil {
-			return nil, deflations, err
+		if err := applyAndNotify(s, cfg, d, res.Targets[i], nil); err != nil {
+			return resources.Vector{}, deflations, err
 		}
 	}
 	initial := dc.Size
-	if t, ok := res.Targets[newcomer]; ok {
-		initial = t
+	if dc.Deflatable {
+		initial = res.Targets[nResident]
 	}
-	d, err := launch(s, cfg, dc, initial)
-	return d, deflations, err
+	return initial, deflations, nil
 }
 
 // launch defines, starts and initially sizes the new domain.
@@ -562,7 +663,7 @@ func launch(s *Server, cfg Config, dc hypervisor.DomainConfig, initial resources
 		s.Host.Undefine(dc.Name)
 		return nil, err
 	}
-	if !initial.FitsIn(dc.Size) || initial != dc.Size {
+	if initial != dc.Size {
 		if _, err := cfg.Mechanism.Apply(d, initial); err != nil {
 			d.Shutdown()
 			s.Host.Undefine(dc.Name)
@@ -598,11 +699,13 @@ func (m *Manager) RemoveVM(name string) error {
 // coalesce simultaneous departures, which turns k same-instant
 // departures from one server into one policy pass instead of k. Servers
 // reinflate in the order they are first touched by names, so the result
-// is deterministic for a deterministic name order.
+// is deterministic for a deterministic name order; with
+// Config.ReinflateShards > 1 the per-server passes run in parallel (see
+// reinflateAffected), which changes only the wall clock.
 func (m *Manager) RemoveVMs(names ...string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var affected []*Server
+	affected := m.affected[:0]
 	seen := map[*Server]bool{}
 	remove := func(name string) error {
 		s, ok := m.placements[name]
@@ -638,12 +741,72 @@ func (m *Manager) RemoveVMs(names ...string) error {
 			break
 		}
 	}
-	for _, s := range affected {
-		if err := Reinflate(s, m.cfg); err != nil && firstErr == nil {
-			firstErr = err
-		}
+	m.affected = affected
+	if err := m.reinflateAffected(affected); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
+}
+
+// reinflateAffected runs one reinflation pass per affected server.
+// Sequentially the servers are processed in first-touched order; with
+// ReinflateShards > 1 server i goes to worker i % shards, every worker
+// joins a barrier, and buffered notification events are then published
+// in the same first-touched server order (events within one server are
+// already in name order). Per-server passes touch only their own host
+// and scratch arena, so the resulting allocations — and the error
+// reported, always the first in server order — are bit-for-bit
+// identical at any shard count.
+func (m *Manager) reinflateAffected(affected []*Server) error {
+	shards := m.cfg.ReinflateShards
+	if shards > len(affected) {
+		shards = len(affected)
+	}
+	if shards <= 1 {
+		var firstErr error
+		for _, s := range affected {
+			if err := Reinflate(s, m.cfg); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := m.reinflateErrs[:0]
+	for range affected {
+		errs = append(errs, nil)
+	}
+	m.reinflateErrs = errs
+	buffer := m.cfg.Notify != nil
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(affected); i += shards {
+				s := affected[i]
+				if buffer {
+					s.scratch.events = s.scratch.events[:0]
+					errs[i] = reinflate(s, m.cfg, &s.scratch.events)
+				} else {
+					errs[i] = reinflate(s, m.cfg, nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if buffer {
+		for _, s := range affected {
+			for _, ev := range s.scratch.events {
+				m.cfg.Notify.Publish(ev)
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Reinflate redistributes free capacity to deflated VMs on s ("run the
@@ -653,6 +816,15 @@ func (m *Manager) RemoveVMs(names ...string) error {
 // nothing on the server is deflated, without walking its domains.
 func Reinflate(s *Server, cfg Config) error {
 	cfg.applyDefaults()
+	return reinflate(s, cfg, nil)
+}
+
+// reinflate is the reinflation policy pass. Like deflateFor it consumes
+// the host's cached VM-state view through the server's scratch arena
+// and applies targets in name order, so steady-state calls are
+// allocation-free. A non-nil events buffer receives the notification
+// events instead of the bus (the parallel batch path).
+func reinflate(s *Server, cfg Config, events *[]notify.Event) error {
 	agg := s.Host.Aggregates()
 	if agg.Deflated == 0 {
 		return nil
@@ -661,30 +833,18 @@ func Reinflate(s *Server, cfg Config) error {
 	if free.IsZero() {
 		return nil
 	}
-	var vms []policy.VMState
-	domains := map[string]*hypervisor.Domain{}
-	for _, d := range s.Host.Domains() {
-		if d.State() != hypervisor.Running || !d.Deflatable() {
-			continue
-		}
-		vms = append(vms, policy.VMState{
-			Name:     d.Name(),
-			Max:      d.MaxSize(),
-			Min:      d.Floor(),
-			Priority: d.Priority(),
-			Current:  d.Allocation(),
-		})
-		domains[d.Name()] = d
-	}
-	if len(vms) == 0 {
+	sc := &s.scratch
+	sc.vms, sc.doms = sc.vms[:0], sc.doms[:0]
+	sc.vms, sc.doms = s.Host.AppendDeflatableView(sc.vms, sc.doms)
+	if len(sc.vms) == 0 {
 		return nil
 	}
-	res, err := cfg.Policy.Targets(vms, free.Scale(-1))
+	res, err := cfg.Policy.TargetsInto(sc.vms, free.Scale(-1), &sc.ps)
 	if err != nil && !errors.Is(err, policy.ErrInsufficient) {
 		return err
 	}
-	for name, target := range res.Targets {
-		if err := applyAndNotify(s, cfg, domains[name], target); err != nil {
+	for i := range sc.doms {
+		if err := applyAndNotify(s, cfg, sc.doms[i], res.Targets[i], events); err != nil {
 			return err
 		}
 	}

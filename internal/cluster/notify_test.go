@@ -55,6 +55,53 @@ func TestManagerPublishesDeflationEvents(t *testing.T) {
 	}
 }
 
+// Deflation and reinflation passes must deliver their notifications in
+// sorted VM-name order — the slice-backed policy results apply targets
+// in the host view's name order, replacing the old map-range apply whose
+// delivery order varied run to run.
+func TestNotifyOrderIsSortedByName(t *testing.T) {
+	var bus notify.Bus
+	var order []string
+	bus.Subscribe(func(ev notify.Event) { order = append(order, ev.VM) })
+
+	m := NewManager(Config{Notify: &bus})
+	if _, err := m.AddServer("n0", serverCap(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Insertion order deliberately unsorted; all three deflate together.
+	for _, name := range []string{"web-c", "web-a", "web-b"} {
+		if _, _, err := m.PlaceVM(deflatableVM(name, 16, 32768, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := m.PlaceVM(onDemandVM("od", 12, 16384)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"web-a", "web-b", "web-c"}
+	if len(order) != len(want) {
+		t.Fatalf("deflation events = %v, want one per resident", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("deflation event order = %v, want %v", order, want)
+		}
+	}
+
+	// The reinflation pass after a departure is name-ordered too.
+	order = order[:0]
+	if err := m.RemoveVM("od"); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(want) {
+		t.Fatalf("reinflation events = %v, want one per resident", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("reinflation event order = %v, want %v", order, want)
+		}
+	}
+}
+
 // A deflation-aware load balancer can drive its weights straight from
 // the bus — the end-to-end wiring of Figure 1.
 func TestBusDrivesWeights(t *testing.T) {

@@ -28,6 +28,26 @@
 //     the same results as a sequential sweep because each point runs in
 //     its own Engine and all randomness is seeded per run.
 //
+// # Sharded single runs
+//
+// The sweep layer parallelises across runs; Config.Shards parallelises
+// within one run, for the single giant traces (100k-1M VMs) a sweep
+// cannot split. Servers and their resident VMs are partitioned across
+// shards per timestamp batch with an event-time barrier: at one event
+// time, the sample metering pass fans the running set out across shards
+// (each VM's meters are touched by exactly one shard), and a
+// same-instant departure batch reinflates its affected servers on up to
+// Shards workers (each server's policy pass runs on exactly one worker,
+// against only that server's state). Arrival placement stays sequential
+// — each placement reads the capacity state every previous decision
+// wrote, so ordering is inherent to the model. Determinism holds at any
+// shard count because no floating-point accumulation crosses shards:
+// per-VM and per-server results are computed in isolation and merged in
+// a canonical order — demand/loss integrals per VM then summed in
+// departure (time, trace-index) order, notification events published in
+// (time, first-touched server, VM name) order — so sharded == sequential
+// == reference placement bit for bit, proven by the differential suite.
+//
 // VM records from an Azure-like trace (or one of the synthetic
 // scenario generators in internal/trace: diurnal, bursty/flash-crowd,
 // heavy-tail) arrive and depart on their trace timestamps, are placed
@@ -108,6 +128,17 @@ type Config struct {
 	// bit-for-bit identical (guarded by the differential test suite);
 	// the flag exists for that comparison and for benchmarks.
 	ReferencePlacement bool
+	// Shards parallelises one run across up to this many goroutines:
+	// the per-VM sample metering pass is partitioned across shards, and
+	// the per-server reinflation passes of a same-instant departure
+	// batch fan out through the cluster manager's ReinflateShards. Both
+	// kinds of work are per-VM / per-server isolated and merge their
+	// side effects in a canonical order (see package comment), so the
+	// Result is bit-for-bit identical at any shard count — guarded by
+	// the differential suite. 0 or 1 means fully sequential. Shards
+	// multiply under the sweep layer's worker pool; use them for one
+	// giant run, not inside a saturated sweep.
+	Shards int
 }
 
 // DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB RAM.

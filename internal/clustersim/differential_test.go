@@ -50,6 +50,81 @@ func TestIndexedEngineMatchesReference(t *testing.T) {
 	}
 }
 
+// TestShardedEngineMatchesSequentialAndReference is the sharded-engine
+// determinism guarantee: one run partitioned across any number of
+// shards must produce a Result — every admission count, failure
+// probability, throughput-loss integral and revenue float — bit-for-bit
+// identical to the fully sequential engine AND to the brute-force
+// reference placement path, across scenarios, seeds and shard counts
+// (including shards exceeding GOMAXPROCS).
+func TestShardedEngineMatchesSequentialAndReference(t *testing.T) {
+	scenarios := []trace.Scenario{
+		trace.ScenarioDiurnal, trace.ScenarioBursty, trace.ScenarioHeavyTail,
+	}
+	shardCounts := []int{2, 4, 16}
+	for _, kind := range scenarios {
+		for _, seed := range []int64{1, 2} {
+			tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+				Kind: kind, NumVMs: 400, Duration: 86400, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Config{Trace: tr, Policy: policy.Priority{}, Overcommit: 0.5}
+			seq, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCfg := base
+			refCfg.ReferencePlacement = true
+			ref, err := Run(refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, ref) {
+				t.Fatalf("%v/seed=%d: sequential diverged from reference:\nseq %+v\nref %+v", kind, seed, *seq, *ref)
+			}
+			for _, shards := range shardCounts {
+				name := fmt.Sprintf("%v/seed=%d/shards=%d", kind, seed, shards)
+				t.Run(name, func(t *testing.T) {
+					cfg := base
+					cfg.Shards = shards
+					got, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, seq) {
+						t.Fatalf("sharded run diverged from sequential:\nsharded    %+v\nsequential %+v", *got, *seq)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedEngineMatchesSequentialPartitioned covers sharding with
+// priority-partitioned pools and the deterministic policy — the
+// combination where per-server passes differ most between servers.
+func TestShardedEngineMatchesSequentialPartitioned(t *testing.T) {
+	tr := testTrace(400)
+	base := Config{Trace: tr, Policy: policy.Deterministic{}, Partitioned: true, Overcommit: 0.5}
+	seq, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		cfg := base
+		cfg.Shards = shards
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("shards=%d: partitioned sharded run diverged:\nsharded    %+v\nsequential %+v", shards, *got, *seq)
+		}
+	}
+}
+
 // TestIndexedEngineMatchesReferencePartitioned covers the
 // priority-partitioned pools, where the index is split per partition.
 func TestIndexedEngineMatchesReferencePartitioned(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"vmdeflate/internal/cluster"
 	"vmdeflate/internal/hypervisor"
@@ -17,11 +18,19 @@ import (
 type vmTracking struct {
 	rec    *trace.VMRecord
 	domain *hypervisor.Domain
-	meters map[string]*pricing.Meter
+	// meters is position-indexed by Config.PricingSchemes (nil for
+	// on-demand VMs). A flat slice instead of the old name-keyed map:
+	// one admission used to allocate a map plus one Meter per scheme;
+	// now it is a single slice allocation, and the per-sample walk is an
+	// index loop instead of a map range.
+	meters []pricing.Meter
 	lastT  float64
 	demand float64 // integrated demand (core-seconds)
 	lost   float64 // integrated demand above allocation
 	prio   float64
+	// idx is the VM's position in the engine's running list (swap-remove
+	// bookkeeping for the sharded sample pass).
+	idx int
 }
 
 // Engine executes one simulation run. It owns every piece of mutable
@@ -34,17 +43,26 @@ type vmTracking struct {
 type Engine struct {
 	cfg      Config
 	nServers int
+	shards   int
 
 	// Deflation-mode state.
 	mgr     *cluster.Manager
 	queue   *eventQueue
 	running map[string]*vmTracking
+	runList []*vmTracking // the running set as a slice, for sharded sampling
 	res     *Result
 	horizon float64
 
 	demandTotal float64
 	lostTotal   float64
 }
+
+// minShardedSample is the running-set size below which the sample pass
+// stays sequential: spawning shard goroutines for a handful of VMs
+// costs more than it saves. The threshold depends only on simulation
+// state, never on timing, so it cannot affect results (per-VM sampling
+// is order-independent either way).
+const minShardedSample = 128
 
 // NewEngine validates cfg, resolves the baseline cluster size and
 // prepares a run. The expensive BaselineServerCount bound is computed
@@ -66,7 +84,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if nServers < 1 {
 		nServers = 1
 	}
-	return &Engine{cfg: cfg, nServers: nServers}, nil
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	return &Engine{cfg: cfg, nServers: nServers, shards: shards}, nil
 }
 
 // Run executes the simulation and returns its metrics.
@@ -82,6 +104,9 @@ func (e *Engine) Run() (*Result, error) {
 // survivors, and self-rescheduling sample events meter demand, loss and
 // revenue every trace.SampleInterval. At equal timestamps the queue
 // delivers samples, then departures, then arrivals (see eventKind).
+// With Shards > 1 the sample pass and departure-batch reinflations fan
+// out across shards inside the per-timestamp barrier (see the package
+// comment's sharding section).
 func (e *Engine) runDeflation() (*Result, error) {
 	cfg := e.cfg
 	mgrCfg := cluster.Config{
@@ -91,6 +116,7 @@ func (e *Engine) runDeflation() (*Result, error) {
 		PriorityLevels:      cfg.PriorityLevels,
 		Notify:              cfg.Notify,
 		ReferencePlacement:  cfg.ReferencePlacement,
+		ReinflateShards:     e.shards,
 	}
 	e.mgr = cluster.NewManager(mgrCfg)
 	partitions := partitionPlan(cfg, e.nServers)
@@ -118,9 +144,7 @@ func (e *Engine) runDeflation() (*Result, error) {
 		ev := e.queue.pop()
 		switch ev.kind {
 		case evSample:
-			for _, vt := range e.running {
-				sampleVM(vt, ev.at, cfg)
-			}
+			e.samplePass(ev.at)
 			if next := ev.at + trace.SampleInterval; next <= e.horizon {
 				e.queue.push(simEvent{at: next, kind: evSample})
 			}
@@ -154,7 +178,7 @@ func (e *Engine) runDeflation() (*Result, error) {
 					continue
 				}
 				e.closeVM(vt, dev.at)
-				delete(e.running, dev.vm.ID)
+				e.dropRunning(dev.vm.ID, vt)
 				names = append(names, dev.vm.ID)
 			}
 			if len(names) > 0 {
@@ -186,10 +210,58 @@ func (e *Engine) runDeflation() (*Result, error) {
 	return e.res, nil
 }
 
+// samplePass meters every running VM at one 5-minute boundary. Each
+// sampleVM call reads and writes only its own VM's record, domain and
+// meters, so with Shards > 1 the running list is split into contiguous
+// chunks sampled concurrently — no cross-VM float accumulation exists
+// to reorder, which is why the shard count cannot change any result.
+func (e *Engine) samplePass(at float64) {
+	if e.shards <= 1 || len(e.runList) < minShardedSample {
+		for _, vt := range e.runList {
+			sampleVM(vt, at, e.cfg)
+		}
+		return
+	}
+	n := len(e.runList)
+	var wg sync.WaitGroup
+	for w := 0; w < e.shards; w++ {
+		lo, hi := w*n/e.shards, (w+1)*n/e.shards
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []*vmTracking) {
+			defer wg.Done()
+			for _, vt := range chunk {
+				sampleVM(vt, at, e.cfg)
+			}
+		}(e.runList[lo:hi])
+	}
+	wg.Wait()
+}
+
+// addRunning and dropRunning keep the running map and the sharded
+// sample pass's slice in sync; dropRunning swap-removes, which reorders
+// the list but sampling is per-VM isolated so order never matters.
+func (e *Engine) addRunning(id string, vt *vmTracking) {
+	vt.idx = len(e.runList)
+	e.runList = append(e.runList, vt)
+	e.running[id] = vt
+}
+
+func (e *Engine) dropRunning(id string, vt *vmTracking) {
+	last := len(e.runList) - 1
+	moved := e.runList[last]
+	e.runList[vt.idx] = moved
+	moved.idx = vt.idx
+	e.runList = e.runList[:last]
+	delete(e.running, id)
+}
+
 // closeVM settles a VM's meters and folds its demand integrals into the
 // run accumulators.
 func (e *Engine) closeVM(vt *vmTracking, at float64) {
-	finishVM(vt, at, e.res)
+	finishVM(vt, at, e.res, e.cfg.PricingSchemes)
 	e.demandTotal += vt.demand
 	e.lostTotal += vt.lost
 }
@@ -225,19 +297,19 @@ func (e *Engine) handleArrival(ev simEvent) {
 	vt := &vmTracking{rec: vm, domain: d, lastT: ev.at, prio: prio}
 	if deflatable {
 		e.res.DeflatableAdmitted++
-		vt.meters = map[string]*pricing.Meter{}
-		for _, s := range cfg.PricingSchemes {
-			m := &pricing.Meter{}
-			m.Observe(ev.at/3600, s.Rate(dc.Size, prio, d.Allocation()))
-			vt.meters[s.Name()] = m
+		vt.meters = make([]pricing.Meter, len(cfg.PricingSchemes))
+		for i, s := range cfg.PricingSchemes {
+			vt.meters[i].Observe(ev.at/3600, s.Rate(dc.Size, prio, d.Allocation()))
 		}
 	}
-	e.running[vm.ID] = vt
+	e.addRunning(vm.ID, vt)
 	e.queue.push(simEvent{at: vm.End, kind: evDeparture, vm: vm, seq: ev.seq})
 }
 
 // sampleVM accumulates demand/loss and refreshes allocation-based
-// billing at one 5-minute boundary.
+// billing at one 5-minute boundary. It touches only vt's own state (and
+// reads its domain through that domain's lock), which is what makes the
+// sharded sample pass safe and shard-count-invariant.
 func sampleVM(vt *vmTracking, at float64, cfg Config) {
 	if !vt.domain.Deflatable() {
 		return
@@ -250,9 +322,9 @@ func sampleVM(vt *vmTracking, at float64, cfg Config) {
 	if over := util/100*maxCores - allocCores; over > 0 {
 		vt.lost += over * trace.SampleInterval
 	}
-	for name, m := range vt.meters {
+	for i := range vt.meters {
 		var rate float64
-		switch name {
+		switch cfg.PricingSchemes[i].Name() {
 		case "static":
 			rate = 0.2 * maxCores
 		case "priority":
@@ -260,12 +332,12 @@ func sampleVM(vt *vmTracking, at float64, cfg Config) {
 		case "allocation":
 			rate = 0.2 * allocCores
 		}
-		m.Observe(at/3600, rate)
+		vt.meters[i].Observe(at/3600, rate)
 	}
 }
 
-func finishVM(vt *vmTracking, at float64, res *Result) {
-	for name, m := range vt.meters {
-		res.Revenue[name] += m.Close(at / 3600)
+func finishVM(vt *vmTracking, at float64, res *Result, schemes []pricing.Scheme) {
+	for i := range vt.meters {
+		res.Revenue[schemes[i].Name()] += vt.meters[i].Close(at / 3600)
 	}
 }

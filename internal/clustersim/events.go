@@ -2,7 +2,7 @@ package clustersim
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 
 	"vmdeflate/internal/trace"
 )
@@ -128,13 +128,24 @@ func buildEvents(tr *trace.AzureTrace) []event {
 		evs = append(evs, event{at: vm.Start, arrival: true, vm: vm})
 		evs = append(evs, event{at: vm.End, arrival: false, vm: vm})
 	}
-	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].at != evs[j].at {
-			return evs[i].at < evs[j].at
-		}
+	// slices.SortStableFunc instantiates for the concrete element type —
+	// no reflect-based swapper — which matters at 1M VMs where this sort
+	// covers 2M events. Same comparator, same stable order as before.
+	slices.SortStableFunc(evs, func(a, b event) int {
+		switch {
+		case a.at < b.at:
+			return -1
+		case a.at > b.at:
+			return 1
 		// Departures before arrivals at the same instant free capacity
 		// for the newcomers.
-		return !evs[i].arrival && evs[j].arrival
+		case !a.arrival && b.arrival:
+			return -1
+		case a.arrival && !b.arrival:
+			return 1
+		default:
+			return 0
+		}
 	})
 	return evs
 }

@@ -106,6 +106,12 @@ type Options struct {
 	// bus fans out concurrently from all workers; subscribers must be
 	// thread-safe.
 	Notify *notify.Bus
+	// Shards is passed through to every run's Config.Shards: intra-run
+	// parallelism on top of the pool's across-run parallelism. Results
+	// are shard-count-invariant, so this only trades scheduling overhead
+	// against wall clock; leave it 0 (sequential runs) unless the grid
+	// has fewer points than cores.
+	Shards int
 }
 
 func (o Options) workers(jobs int) int {
@@ -192,6 +198,7 @@ func SweepGrid(tr *trace.AzureTrace, strategies []string, overcommitPcts []float
 		strategy, pct := strategies[i/nOC], overcommitPcts[i%nOC]
 		cfg := strategyConfig(tr, strategy, baseline, pct/100)
 		cfg.Notify = opts.Notify
+		cfg.Shards = opts.Shards
 		res, err := Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("clustersim: %s @ %g%% OC: %w", strategy, pct, err)
@@ -277,6 +284,7 @@ func ReplicatedSweep(gen func(seed int64) *trace.AzureTrace, seeds []int64, stra
 		strategy, pct := strategies[rest/nOC], overcommitPcts[rest%nOC]
 		cfg := strategyConfig(traces[r], strategy, baselines[r], pct/100)
 		cfg.Notify = opts.Notify
+		cfg.Shards = opts.Shards
 		res, err := Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("clustersim: seed %d %s @ %g%% OC: %w", seeds[r], strategy, pct, err)

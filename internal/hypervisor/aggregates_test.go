@@ -160,7 +160,9 @@ func TestAggregatesConvenienceAccessors(t *testing.T) {
 }
 
 // TestOnAggregateChange checks the callback fires for every mutation
-// class the cluster layer relies on for dirty tracking.
+// class the cluster layer relies on for dirty tracking. Notifications
+// are edge-triggered — one per clean-to-stale transition — so the test
+// re-arms the edge with an Aggregates() read before every mutation.
 func TestOnAggregateChange(t *testing.T) {
 	h := testHost(t)
 	fires := 0
@@ -188,16 +190,35 @@ func TestOnAggregateChange(t *testing.T) {
 		t.Error("define did not fire the callback")
 	}
 	for _, s := range steps {
+		h.Aggregates() // refresh the cache, re-arming the edge
 		before := fires
 		s.op()
 		if fires == before {
 			t.Errorf("%s did not fire the callback", s.name)
 		}
 	}
-	// Unregistering stops delivery.
-	h.OnAggregateChange(nil)
+
+	// While the cache is already stale, further mutations coalesce into
+	// the pending notification.
+	h.Aggregates()
+	d2, err := h.Define(DomainConfig{Name: "vm2", Size: resources.New(4, 8192, 0, 0), Deflatable: true, Priority: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	before := fires
-	if _, err := h.Define(DomainConfig{Name: "vm2", Size: resources.New(1, 1024, 0, 0)}); err != nil {
+	if err := d2.Start(); err != nil { // cache still stale from Define
+		t.Fatal(err)
+	}
+	d2.SetCPUShares(2)
+	if fires != before {
+		t.Errorf("stale-cache mutations should coalesce: %d extra fires", fires-before)
+	}
+
+	// Unregistering stops delivery.
+	h.Aggregates()
+	h.OnAggregateChange(nil)
+	before = fires
+	if _, err := h.Define(DomainConfig{Name: "vm3", Size: resources.New(1, 1024, 0, 0)}); err != nil {
 		t.Fatal(err)
 	}
 	if fires != before {

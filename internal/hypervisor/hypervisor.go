@@ -22,6 +22,7 @@ import (
 
 	"vmdeflate/internal/cgroups"
 	"vmdeflate/internal/guestos"
+	"vmdeflate/internal/policy"
 	"vmdeflate/internal/resources"
 )
 
@@ -161,18 +162,25 @@ type Host struct {
 	// determinism guarantee.
 	order []*Domain
 
-	// Aggregate cache. aggDirty is set (and the change callback fired) by
-	// every mutation that can move an aggregate — define/undefine,
-	// start/shutdown, cgroup limit changes, hotplug — and the next
-	// Aggregates() read recomputes. aggMu orders recomputes and guards
-	// agg/aggValid; the lock order is aggMu -> mu -> Domain.mu, and
-	// invalidation takes none of them (atomic flag + leaf callback), so
-	// mutators that already hold mu or a Domain lock can invalidate
-	// without deadlock.
-	aggMu    sync.Mutex
-	aggValid bool
-	agg      Aggregates
-	aggDirty atomic.Bool
+	// Derived-state cache: the aggregates plus the deflatable VM-state
+	// view (the policy-shaped picture of the host's running deflatable
+	// domains, in name order, that the cluster layer's PlaceOn/Reinflate
+	// policy passes consume). Both are stale-flagged together by every
+	// mutation that can move an allocation or lifecycle state, and both
+	// are rebuilt by ONE name-order walk that reads each domain through
+	// a single lock acquisition — so a reinflation pass that needs the
+	// aggregates and then the view costs one walk, not two. cacheMu
+	// orders rebuilds and guards the cached values; the lock order is
+	// cacheMu -> mu -> Domain.mu, and invalidation takes none of them
+	// (atomic flag + leaf callback), so mutators that already hold mu or
+	// a Domain lock can invalidate without deadlock.
+	cacheMu      sync.Mutex
+	cacheValid   bool
+	cacheDirty   atomic.Bool
+	agg          Aggregates
+	viewStates   []policy.VMState
+	viewDoms     []*Domain
+	cacheScratch []*Domain // reusable order snapshot for the rebuild walk
 
 	// onChange, when set, is called after every aggregate invalidation.
 	// It may run while host or domain locks are held: implementations
@@ -206,23 +214,35 @@ func (h *Host) Name() string { return h.cfg.Name }
 // Capacity returns the host's physical resources.
 func (h *Host) Capacity() resources.Vector { return h.cfg.Capacity }
 
-// OnAggregateChange registers fn to be called whenever the host's
-// aggregates are invalidated (any define/undefine, lifecycle transition,
-// limit change or hotplug). The callback may fire while host or domain
-// locks are held, so it must only record dirtiness — typically marking
-// the host in a cluster-level dirty set — and must not call back into
-// Host or Domain methods. Passing nil unregisters.
+// OnAggregateChange registers fn to be called when a mutation (any
+// define/undefine, lifecycle transition, limit change or hotplug)
+// invalidates the host's clean aggregate cache. Notifications are
+// edge-triggered: while the cache is already stale further mutations
+// are coalesced into the pending notification, and the next
+// Aggregates()/AppendDeflatableView() read re-arms the edge — exactly
+// the contract a dirty-set consumer needs, at one callback per dirty
+// episode instead of one per mutation. The callback may fire while host
+// or domain locks are held, so it must only record dirtiness —
+// typically marking the host in a cluster-level dirty set — and must
+// not call back into Host or Domain methods. Passing nil unregisters.
 func (h *Host) OnAggregateChange(fn func()) {
 	h.cbMu.Lock()
 	h.onChange = fn
 	h.cbMu.Unlock()
 }
 
-// invalidateAggregates flags the cache stale and notifies the registered
-// callback. It takes no host or domain locks, so any mutator may call it
-// regardless of what it already holds.
+// invalidateAggregates flags the derived-state cache stale and, on the
+// clean-to-stale edge, notifies the registered callback. It takes no
+// host or domain locks, so any mutator may call it regardless of what
+// it already holds. The edge trigger is sound for dirty-set consumers:
+// a skipped notification means the cache has been continuously stale
+// since the last notification, so the consumer's dirty mark is still
+// pending (the mark is only consumed together with the cache refresh
+// that re-arms the edge).
 func (h *Host) invalidateAggregates() {
-	h.aggDirty.Store(true)
+	if h.cacheDirty.Swap(true) {
+		return // already stale: notification still pending downstream
+	}
 	h.cbMu.Lock()
 	fn := h.onChange
 	h.cbMu.Unlock()
@@ -236,41 +256,76 @@ func (h *Host) invalidateAggregates() {
 // read. Between mutations this is O(1), which is what makes per-arrival
 // cluster scans affordable at scale.
 func (h *Host) Aggregates() Aggregates {
-	h.aggMu.Lock()
-	defer h.aggMu.Unlock()
-	if h.aggDirty.Swap(false) || !h.aggValid {
-		h.agg = h.recomputeAggregates()
-		h.aggValid = true
-	}
+	h.cacheMu.Lock()
+	defer h.cacheMu.Unlock()
+	h.refreshCacheLocked()
 	return h.agg
 }
 
-// recomputeAggregates walks the domains in name order — the fixed
-// iteration order that keeps the float summations reproducible — and
-// rebuilds every aggregate from scratch. Called with aggMu held.
-func (h *Host) recomputeAggregates() Aggregates {
+// refreshCacheLocked rebuilds the aggregates and the deflatable VM-state
+// view in one name-order walk — the fixed iteration order that keeps the
+// float summations reproducible — if a mutation happened since the last
+// read. Each domain is read through a single snapshot (one lock
+// acquisition) shared by both derivations. Called with cacheMu held.
+func (h *Host) refreshCacheLocked() {
+	if !h.cacheDirty.Swap(false) && h.cacheValid {
+		return
+	}
 	h.mu.Lock()
-	order := make([]*Domain, len(h.order))
-	copy(order, h.order)
+	h.cacheScratch = append(h.cacheScratch[:0], h.order...)
 	h.mu.Unlock()
 	var a Aggregates
-	for _, d := range order {
+	h.viewStates = h.viewStates[:0]
+	h.viewDoms = h.viewDoms[:0]
+	for _, d := range h.cacheScratch {
 		a.Committed = a.Committed.Add(d.cfg.Size)
-		if d.State() != Running {
+		state, alloc := d.snapshot()
+		if state != Running {
 			continue
 		}
 		a.Running++
-		alloc := d.Allocation()
 		a.Allocated = a.Allocated.Add(alloc)
 		if !d.cfg.Deflatable {
 			continue
 		}
-		a.DeflatableReserve = a.DeflatableReserve.Add(alloc.Sub(d.Floor()).ClampNonNegative())
+		floor := d.Floor()
+		a.DeflatableReserve = a.DeflatableReserve.Add(alloc.Sub(floor).ClampNonNegative())
 		if alloc.DeflationFraction(d.cfg.Size) > 0 {
 			a.Deflated++
 		}
+		h.viewStates = append(h.viewStates, policy.VMState{
+			Name:     d.cfg.Name,
+			Max:      d.cfg.Size,
+			Min:      floor,
+			Priority: d.cfg.Priority,
+			Current:  alloc,
+		})
+		h.viewDoms = append(h.viewDoms, d)
 	}
-	return a
+	h.agg = a
+	h.cacheValid = true
+}
+
+// AppendDeflatableView appends the host's cached policy view of its
+// running deflatable domains — one policy.VMState plus the matching
+// *Domain per VM, in name order — to states and domains, and returns the
+// extended slices. The cache is rebuilt (one name-order walk into reused
+// buffers) only if a mutation happened since the last read, so a
+// steady-state policy pass costs one memcpy instead of a Domains() walk
+// that re-takes every domain lock and re-derives every floor. Callers
+// own the destination slices; passing buffers they reuse across passes
+// makes the whole read allocation-free.
+//
+// The appended states are a snapshot: a subsequent allocation or
+// lifecycle mutation invalidates the cache but not slices already handed
+// out, exactly like Aggregates().
+func (h *Host) AppendDeflatableView(states []policy.VMState, domains []*Domain) ([]policy.VMState, []*Domain) {
+	h.cacheMu.Lock()
+	h.refreshCacheLocked()
+	states = append(states, h.viewStates...)
+	domains = append(domains, h.viewDoms...)
+	h.cacheMu.Unlock()
+	return states, domains
 }
 
 // Define creates a domain. Defining does not reserve physical resources:
@@ -395,6 +450,15 @@ type Domain struct {
 	guest *guestos.GuestOS
 	cg    *cgroups.Group
 
+	// allocValid/allocCache memoise the derived allocation vector, which
+	// every aggregation walk, policy pass and sample read re-reads many
+	// times between mutations. Every mutation that can move the
+	// allocation — cgroup limit changes and hotplug — clears the flag
+	// (all such mutations route through Domain methods; the cgroup and
+	// guest are never driven directly). Guarded by mu.
+	allocValid bool
+	allocCache resources.Vector
+
 	// deflatedBy records the most recent mechanism label ("transparent",
 	// "explicit", "hybrid") for observability.
 	deflatedBy string
@@ -474,11 +538,25 @@ func (d *Domain) Allocation() resources.Vector {
 	return d.allocationLocked()
 }
 
+// snapshot returns the domain's lifecycle state and current allocation
+// through one lock acquisition — the combined read the host's cache
+// rebuild walk uses so it pays one domain lock per domain instead of
+// one per accessor.
+func (d *Domain) snapshot() (DomainState, resources.Vector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state, d.allocationLocked()
+}
+
 func (d *Domain) allocationLocked() resources.Vector {
-	plugged := d.cfg.Size.
-		With(resources.CPU, float64(d.guest.OnlineVCPUs())).
-		With(resources.Memory, d.guest.PluggedMemoryMB())
-	return d.cg.Effective(plugged)
+	if !d.allocValid {
+		plugged := d.cfg.Size.
+			With(resources.CPU, float64(d.guest.OnlineVCPUs())).
+			With(resources.Memory, d.guest.PluggedMemoryMB())
+		d.allocCache = d.cg.Effective(plugged)
+		d.allocValid = true
+	}
+	return d.allocCache
 }
 
 // Effective is an alias of Allocation emphasising that this is what the
@@ -493,12 +571,16 @@ func (d *Domain) DeflationFraction() float64 {
 
 // --- Transparent deflation knobs (cgroup-backed, Section 4.2) ---
 
-// setLimit engages one cgroup controller and invalidates the host's
-// aggregate cache (a limit change can move the effective allocation).
+// setLimit engages one cgroup controller and invalidates the domain's
+// allocation memo and the host's aggregate cache (a limit change can
+// move the effective allocation).
 func (d *Domain) setLimit(k resources.Kind, v float64) error {
 	if err := d.cg.SetLimit(k, v); err != nil {
 		return err
 	}
+	d.mu.Lock()
+	d.allocValid = false
+	d.mu.Unlock()
 	d.host.invalidateAggregates()
 	return nil
 }
@@ -534,6 +616,9 @@ func (d *Domain) ClearTransparentLimits() {
 	for _, k := range resources.Kinds {
 		d.cg.ClearLimit(k)
 	}
+	d.mu.Lock()
+	d.allocValid = false
+	d.mu.Unlock()
 	d.host.invalidateAggregates()
 }
 
@@ -548,6 +633,7 @@ func (d *Domain) HotUnplugVCPUs(n int) (int, error) {
 		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
 	n, err := d.guest.UnplugVCPUs(n)
+	d.allocValid = false
 	d.host.invalidateAggregates()
 	return n, err
 }
@@ -561,6 +647,7 @@ func (d *Domain) HotPlugVCPUs(n int) (int, error) {
 		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
 	n, err := d.guest.PlugVCPUs(n)
+	d.allocValid = false
 	d.host.invalidateAggregates()
 	return n, err
 }
@@ -575,6 +662,7 @@ func (d *Domain) HotUnplugMemory(mb float64) (float64, error) {
 		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
 	mb, err := d.guest.UnplugMemory(mb)
+	d.allocValid = false
 	d.host.invalidateAggregates()
 	return mb, err
 }
@@ -588,6 +676,7 @@ func (d *Domain) HotPlugMemory(mb float64) (float64, error) {
 		return 0, fmt.Errorf("%w: %s not running", ErrState, d.cfg.Name)
 	}
 	mb, err := d.guest.PlugMemory(mb)
+	d.allocValid = false
 	d.host.invalidateAggregates()
 	return mb, err
 }

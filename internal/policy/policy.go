@@ -11,6 +11,16 @@
 // preempt; if even maximal deflation cannot satisfy the need they report
 // ErrInsufficient and the caller (cluster manager) rejects the request —
 // that is the "failure probability" measured in Figure 20.
+//
+// # Hot-path API
+//
+// Policies expose two forms of the same decision. TargetsInto is the hot
+// path: it writes position-indexed targets (Targets[i] belongs to vms[i])
+// into buffers owned by a caller-provided Scratch, so a steady-state
+// policy pass performs zero heap allocations — the cluster manager keeps
+// one Scratch per server and runs millions of passes without GC churn.
+// Targets is the convenience wrapper that builds the familiar
+// name-indexed map (and a detailed error) on top of TargetsInto.
 package policy
 
 import (
@@ -22,8 +32,13 @@ import (
 )
 
 // ErrInsufficient reports that even deflating every VM to its floor
-// cannot free the requested amount.
+// cannot free the requested amount. TargetsInto returns the bare
+// sentinel (so the hot path never formats); Targets wraps it with the
+// dimension and amounts.
 var ErrInsufficient = errors.New("policy: insufficient deflatable resources")
+
+// feasEps is the tolerance used when comparing freed amounts to needs.
+const feasEps = 1e-6
 
 // VMState is a policy's view of one deflatable VM.
 type VMState struct {
@@ -40,13 +55,44 @@ type VMState struct {
 	Current resources.Vector
 }
 
-// Result is a policy decision.
+// Result is a policy decision in map form.
 type Result struct {
 	// Targets maps VM name to its new target allocation.
 	Targets map[string]resources.Vector
 	// Freed is the decrease of total allocation relative to Current
 	// (negative components mean the policy reinflated).
 	Freed resources.Vector
+}
+
+// SliceResult is a policy decision in position-indexed form: Targets[i]
+// is the new target allocation for vms[i] of the corresponding
+// TargetsInto call. The slice is backed by the Scratch passed in and is
+// valid only until that Scratch's next use.
+type SliceResult struct {
+	Targets []resources.Vector
+	Freed   resources.Vector
+}
+
+// Scratch holds the reusable buffers a policy pass needs. The zero value
+// is ready to use; after a few passes the buffers reach steady-state
+// capacity and TargetsInto stops allocating entirely. A Scratch must not
+// be shared between concurrent passes — the cluster manager owns one per
+// server.
+type Scratch struct {
+	targets []resources.Vector
+	entries []wfEntry
+	order   []int
+	sorter  detSorter
+}
+
+// grow returns s.targets resized to n, reusing capacity.
+func (s *Scratch) grow(n int) []resources.Vector {
+	if cap(s.targets) < n {
+		s.targets = make([]resources.Vector, n)
+	} else {
+		s.targets = s.targets[:n]
+	}
+	return s.targets
 }
 
 // Policy computes target allocations.
@@ -58,6 +104,11 @@ type Policy interface {
 	// components request reinflation. If the need cannot be fully met the
 	// result holds best-effort targets alongside ErrInsufficient.
 	Targets(vms []VMState, need resources.Vector) (Result, error)
+	// TargetsInto is the allocation-free form of Targets: the same
+	// decision, written into buffers owned by s (which may be nil for a
+	// one-shot call). On ErrInsufficient the returned targets are still
+	// the best-effort decision, exactly as with Targets.
+	TargetsInto(vms []VMState, need resources.Vector, s *Scratch) (SliceResult, error)
 }
 
 // totals sums Max, Min and Current across vms.
@@ -70,25 +121,48 @@ func totals(vms []VMState) (max, min, cur resources.Vector) {
 	return
 }
 
-func buildResult(vms []VMState, targets map[string]resources.Vector) Result {
+// finishSlice computes Freed (in input order, so the float summation is
+// deterministic) and checks feasibility, returning the bare
+// ErrInsufficient sentinel where the need cannot be met.
+func finishSlice(vms []VMState, targets []resources.Vector, need resources.Vector) (SliceResult, error) {
 	var freed resources.Vector
-	for _, vm := range vms {
-		freed = freed.Add(vm.Current).Sub(targets[vm.Name])
+	for i := range vms {
+		freed = freed.Add(vms[i].Current).Sub(targets[i])
 	}
-	return Result{Targets: targets, Freed: freed}
-}
-
-// checkFeasible compares the achievable reclaim against need and wraps
-// res with ErrInsufficient where the need cannot be met.
-func checkFeasible(res Result, need resources.Vector) (Result, error) {
-	const eps = 1e-6
+	res := SliceResult{Targets: targets, Freed: freed}
 	for _, k := range resources.Kinds {
-		if res.Freed.Get(k)+eps < need.Get(k) {
-			return res, fmt.Errorf("%w: %s freed %.3f of %.3f needed",
-				ErrInsufficient, k, res.Freed.Get(k), need.Get(k))
+		if freed.Get(k)+feasEps < need.Get(k) {
+			return res, ErrInsufficient
 		}
 	}
 	return res, nil
+}
+
+// mapTargets adapts a TargetsInto decision to the map form, restoring
+// the detailed insufficiency error the slice path elides.
+func mapTargets(p Policy, vms []VMState, need resources.Vector) (Result, error) {
+	var s Scratch
+	sr, err := p.TargetsInto(vms, need, &s)
+	targets := make(map[string]resources.Vector, len(vms))
+	for i := range vms {
+		targets[vms[i].Name] = sr.Targets[i]
+	}
+	if errors.Is(err, ErrInsufficient) {
+		err = describeInsufficient(sr.Freed, need)
+	}
+	return Result{Targets: targets, Freed: sr.Freed}, err
+}
+
+// describeInsufficient formats the first dimension whose need cannot be
+// met — the detailed error of the map API.
+func describeInsufficient(freed, need resources.Vector) error {
+	for _, k := range resources.Kinds {
+		if freed.Get(k)+feasEps < need.Get(k) {
+			return fmt.Errorf("%w: %s freed %.3f of %.3f needed",
+				ErrInsufficient, k, freed.Get(k), need.Get(k))
+		}
+	}
+	return ErrInsufficient
 }
 
 // Proportional implements Equations 1 and 2: each VM is deflated in
@@ -100,8 +174,13 @@ type Proportional struct{}
 func (Proportional) Name() string { return "proportional" }
 
 // Targets implements Policy.
-func (Proportional) Targets(vms []VMState, need resources.Vector) (Result, error) {
-	return weightedTargets(vms, need, func(VMState) float64 { return 1 })
+func (p Proportional) Targets(vms []VMState, need resources.Vector) (Result, error) {
+	return mapTargets(p, vms, need)
+}
+
+// TargetsInto implements Policy.
+func (Proportional) TargetsInto(vms []VMState, need resources.Vector, s *Scratch) (SliceResult, error) {
+	return weightedTargetsInto(vms, need, unitWeight, s)
 }
 
 // Priority implements Equations 3 and 4: the deflatable range of VM i is
@@ -113,17 +192,28 @@ type Priority struct{}
 func (Priority) Name() string { return "priority" }
 
 // Targets implements Policy.
-func (Priority) Targets(vms []VMState, need resources.Vector) (Result, error) {
-	return weightedTargets(vms, need, func(vm VMState) float64 {
-		p := vm.Priority
-		if p <= 0 {
-			p = 1e-3 // avoid a zero weight freezing the formula
-		}
-		return p
-	})
+func (p Priority) Targets(vms []VMState, need resources.Vector) (Result, error) {
+	return mapTargets(p, vms, need)
 }
 
-// weightedTargets computes, per resource k, allocations of the form
+// TargetsInto implements Policy.
+func (Priority) TargetsInto(vms []VMState, need resources.Vector, s *Scratch) (SliceResult, error) {
+	return weightedTargetsInto(vms, need, priorityWeight, s)
+}
+
+// unitWeight and priorityWeight are package-level functions (not
+// closures) so passing them down the hot path allocates nothing.
+func unitWeight(VMState) float64 { return 1 }
+
+func priorityWeight(vm VMState) float64 {
+	p := vm.Priority
+	if p <= 0 {
+		p = 1e-3 // avoid a zero weight freezing the formula
+	}
+	return p
+}
+
+// weightedTargetsInto computes, per resource k, allocations of the form
 //
 //	new_i = clamp(m_i + alpha * w_i * (M_i - m_i), m_i, M_i)
 //
@@ -132,32 +222,37 @@ func (Priority) Targets(vms []VMState, need resources.Vector) (Result, error) {
 // alpha is recomputed over the rest (water-filling); this degenerates to
 // the paper's closed-form alpha when no clamp binds, and handles
 // reinflation (negative need) with the same code path.
-func weightedTargets(vms []VMState, need resources.Vector, weight func(VMState) float64) (Result, error) {
-	targets := make(map[string]resources.Vector, len(vms))
-	for _, vm := range vms {
-		targets[vm.Name] = vm.Min // start from floors, fill below
+func weightedTargetsInto(vms []VMState, need resources.Vector, weight func(VMState) float64, s *Scratch) (SliceResult, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	targets := s.grow(len(vms))
+	for i := range vms {
+		targets[i] = vms[i].Min // start from floors, fill below
 	}
 	_, _, curTotal := totals(vms)
 
 	for _, k := range resources.Kinds {
 		// Desired total allocation after this decision.
 		desired := curTotal.Get(k) - need.Get(k)
-		solveDimension(vms, k, desired, weight, targets)
+		solveDimension(vms, k, desired, weight, targets, s)
 	}
-	res := buildResult(vms, targets)
-	return checkFeasible(res, need)
+	return finishSlice(vms, targets, need)
+}
+
+// wfEntry is one VM's water-filling state for a single dimension.
+type wfEntry struct {
+	idx     int
+	w       float64
+	rangeK  float64
+	clamped bool
 }
 
 // solveDimension performs the per-resource water-filling described on
-// weightedTargets, writing new_i into targets[name][k].
-func solveDimension(vms []VMState, k resources.Kind, desired float64, weight func(VMState) float64, targets map[string]resources.Vector) {
-	type entry struct {
-		vm      *VMState
-		w       float64
-		rangeK  float64
-		clamped bool
-	}
-	entries := make([]entry, 0, len(vms))
+// weightedTargetsInto, writing new_i into targets[i][k]. All working
+// state lives in s.entries, reused across dimensions and passes.
+func solveDimension(vms []VMState, k resources.Kind, desired float64, weight func(VMState) float64, targets []resources.Vector, s *Scratch) {
+	entries := s.entries[:0]
 	floorSum := 0.0
 	for i := range vms {
 		vm := &vms[i]
@@ -165,9 +260,10 @@ func solveDimension(vms []VMState, k resources.Kind, desired float64, weight fun
 		if r < 0 {
 			r = 0
 		}
-		entries = append(entries, entry{vm: vm, w: weight(*vm), rangeK: r})
+		entries = append(entries, wfEntry{idx: i, w: weight(*vm), rangeK: r})
 		floorSum += vm.Min.Get(k)
 	}
+	s.entries = entries
 
 	// Clamp the desired total into the feasible band.
 	maxSum := floorSum
@@ -187,21 +283,21 @@ func solveDimension(vms []VMState, k resources.Kind, desired float64, weight fun
 		var wSum, clampedSum, freeFloor float64
 		for _, e := range entries {
 			if e.clamped {
-				clampedSum += e.vm.Max.Get(k)
+				clampedSum += vms[e.idx].Max.Get(k)
 				continue
 			}
 			wSum += e.w * e.rangeK
-			freeFloor += e.vm.Min.Get(k)
+			freeFloor += vms[e.idx].Min.Get(k)
 		}
 		if wSum <= 0 {
 			// No deflatable range left: everyone at floor or clamped.
 			for i := range entries {
 				e := &entries[i]
-				v := e.vm.Min.Get(k)
+				v := vms[e.idx].Min.Get(k)
 				if e.clamped {
-					v = e.vm.Max.Get(k)
+					v = vms[e.idx].Max.Get(k)
 				}
-				targets[e.vm.Name] = targets[e.vm.Name].With(k, v)
+				targets[e.idx][k] = v
 			}
 			return
 		}
@@ -215,8 +311,8 @@ func solveDimension(vms []VMState, k resources.Kind, desired float64, weight fun
 			if e.clamped {
 				continue
 			}
-			v := e.vm.Min.Get(k) + alpha*e.w*e.rangeK
-			if v >= e.vm.Max.Get(k) {
+			v := vms[e.idx].Min.Get(k) + alpha*e.w*e.rangeK
+			if v >= vms[e.idx].Max.Get(k) {
 				e.clamped = true
 				newClamp = true
 			}
@@ -224,11 +320,11 @@ func solveDimension(vms []VMState, k resources.Kind, desired float64, weight fun
 		if !newClamp {
 			for i := range entries {
 				e := &entries[i]
-				v := e.vm.Max.Get(k)
+				v := vms[e.idx].Max.Get(k)
 				if !e.clamped {
-					v = e.vm.Min.Get(k) + alpha*e.w*e.rangeK
+					v = vms[e.idx].Min.Get(k) + alpha*e.w*e.rangeK
 				}
-				targets[e.vm.Name] = targets[e.vm.Name].With(k, v)
+				targets[e.idx][k] = v
 			}
 			return
 		}
@@ -250,17 +346,46 @@ type Deterministic struct{}
 func (Deterministic) Name() string { return "deterministic" }
 
 // Targets implements Policy.
-func (Deterministic) Targets(vms []VMState, need resources.Vector) (Result, error) {
-	order := make([]*VMState, len(vms))
-	for i := range vms {
-		order[i] = &vms[i]
+func (p Deterministic) Targets(vms []VMState, need resources.Vector) (Result, error) {
+	return mapTargets(p, vms, need)
+}
+
+// detSorter orders VM indices by (priority, name) ascending. It lives in
+// the Scratch so sort.Sort receives a pointer that is already on the
+// heap — no per-pass interface or closure allocation (sort.Slice's
+// reflect-based swapper is what this avoids).
+type detSorter struct {
+	vms   []VMState
+	order []int
+}
+
+func (d *detSorter) Len() int      { return len(d.order) }
+func (d *detSorter) Swap(i, j int) { d.order[i], d.order[j] = d.order[j], d.order[i] }
+func (d *detSorter) Less(i, j int) bool {
+	a, b := &d.vms[d.order[i]], &d.vms[d.order[j]]
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Priority != order[j].Priority {
-			return order[i].Priority < order[j].Priority
-		}
-		return order[i].Name < order[j].Name
-	})
+	return a.Name < b.Name
+}
+
+// TargetsInto implements Policy.
+func (Deterministic) TargetsInto(vms []VMState, need resources.Vector, s *Scratch) (SliceResult, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	targets := s.grow(len(vms))
+	if cap(s.order) < len(vms) {
+		s.order = make([]int, len(vms))
+	} else {
+		s.order = s.order[:len(vms)]
+	}
+	for i := range s.order {
+		s.order[i] = i
+	}
+	s.sorter.vms, s.sorter.order = vms, s.order
+	sort.Sort(&s.sorter)
+	s.sorter.vms = nil // do not retain the caller's slice
 
 	// Recompute the deflation set from scratch: walk VMs lowest priority
 	// first, deflating until the total allocation is at or below the
@@ -270,22 +395,20 @@ func (Deterministic) Targets(vms []VMState, need resources.Vector) (Result, erro
 	_, _, curTotal := totals(vms)
 	desired := curTotal.Sub(need)
 
-	targets := make(map[string]resources.Vector, len(vms))
 	var total resources.Vector
-	for _, vm := range order {
-		targets[vm.Name] = vm.Max
-		total = total.Add(vm.Max)
+	for _, i := range s.order {
+		targets[i] = vms[i].Max
+		total = total.Add(vms[i].Max)
 	}
-	for _, vm := range order {
+	for _, i := range s.order {
 		if total.FitsIn(desired) {
 			break
 		}
-		deflated := vm.Max.Scale(vm.Priority).Max(vm.Min)
-		total = total.Sub(vm.Max).Add(deflated)
-		targets[vm.Name] = deflated
+		deflated := vms[i].Max.Scale(vms[i].Priority).Max(vms[i].Min)
+		total = total.Sub(vms[i].Max).Add(deflated)
+		targets[i] = deflated
 	}
-	res := buildResult(vms, targets)
-	return checkFeasible(res, need)
+	return finishSlice(vms, targets, need)
 }
 
 // ByName returns the policy with the given name.
