@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench-smoke bench-allocs bench-scale bench-scale-1m bench ci
+.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench ci
 
 build:
 	$(GO) build ./...
@@ -20,21 +20,28 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race shard over the partitioned propose/commit placement path:
+# the phase workers, batch commits, parallel dirty sync and the engines
+# driving them — a fast, explicit signal beside the full `race` run.
+race-placement:
+	$(GO) test -race -run 'Partition|PlaceVMs|Propose|Sharded|Preemption' ./internal/cluster ./internal/clustersim
+
 # One iteration of the 10k-VM sweep benchmarks: proves the parallel
 # engine end-to-end without the cost of a full benchmark session.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Sweep10k' -benchtime 1x .
 
 # Zero-allocation gate: the steady-state PlaceOn/Reinflate policy pass
-# must report 0 allocs/op, or the build fails. The benchmark output is
-# kept in BENCH_allocs.txt for CI to archive.
+# AND the partitioned batch-propose pass must both report 0 allocs/op,
+# or the build fails. The benchmark output is kept in BENCH_allocs.txt
+# for CI to archive.
 bench-allocs:
-	$(GO) test -run '^$$' -bench 'PolicyPassSteadyState' -benchmem ./internal/cluster | tee BENCH_allocs.txt
-	@awk '/^BenchmarkPolicyPassSteadyState/ { found = 1; allocs = $$(NF-1) + 0; \
-		if (allocs > 0) { failed = 1; print "FAIL: policy pass allocates " allocs " allocs/op (want 0)" } } \
-		END { if (!found) { print "FAIL: BenchmarkPolicyPassSteadyState did not run"; exit 1 } \
+	$(GO) test -run '^$$' -bench 'PolicyPassSteadyState|ProposeSteadyState' -benchmem ./internal/cluster | tee BENCH_allocs.txt
+	@awk '/^Benchmark/ { found++; allocs = $$(NF-1) + 0; \
+		if (allocs > 0) { failed = 1; print "FAIL: " $$1 " allocates " allocs " allocs/op (want 0)" } } \
+		END { if (found < 2) { print "FAIL: expected the policy-pass and propose-pass benchmarks, got " found+0; exit 1 } \
 		if (failed) exit 1; \
-		print "OK: steady-state policy pass at 0 allocs/op" }' BENCH_allocs.txt
+		print "OK: steady-state policy + propose passes at 0 allocs/op" }' BENCH_allocs.txt
 
 # Cloud-scale single-run smoke: one 50k-VM deflation run through the
 # capacity-indexed manager (sharded across all cores), reported to

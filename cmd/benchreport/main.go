@@ -9,14 +9,16 @@
 //	benchreport -quick     # smaller traces / shorter runs
 //	benchreport -scale 50000                 # cloud-scale single-run smoke
 //	benchreport -scale 50000 -scaleout BENCH_scale.json
-//	benchreport -scale 1000000               # the 1M-VM point (sharded)
-//	benchreport -scale 100000 -shards 1      # force a sequential run
+//	benchreport -scale 1000000               # the 1M-VM point (sharded + partitioned)
+//	benchreport -scale 100000 -shards 1 -partitions 1   # force a sequential run
+//	benchreport -scale 50000 -scenario bursty           # a different workload shape
 //
 // The -scale mode runs one deflation-mode simulation at the given VM
-// count through the capacity-indexed manager — sharded across all cores
-// by default (results are shard-count-invariant) — and writes a small
-// JSON report (wall time, events/s, admission counts) for CI to
-// archive, so the perf trajectory is tracked PR-over-PR.
+// count through the capacity-indexed manager — with the sample/
+// reinflation passes sharded and arrival placement partitioned across
+// all cores by default (results are invariant to both counts) — and
+// writes a small JSON report (wall time, arrivals/s, admission counts)
+// for CI to archive, so the perf trajectory is tracked PR-over-PR.
 package main
 
 import (
@@ -41,27 +43,32 @@ type scaleReport struct {
 	Servers      int     `json:"servers"`
 	Overcommit   float64 `json:"overcommit"`
 	Shards       int     `json:"shards"`
+	Partitions   int     `json:"partitions"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	TraceSeconds float64 `json:"trace_gen_seconds"`
 	Admitted     int     `json:"admitted"`
 	Rejected     int     `json:"rejected"`
-	ArrivalsPerS float64 `json:"arrivals_per_second"`
+	ArrivalsPerS float64 `json:"arrivals_per_sec"`
 }
 
-// runScale executes the cloud-scale single-run smoke: one heavy-tail
-// trace of n VMs, cluster sized by the cheap peak-demand bound, one
-// indexed deflation run sharded across `shards` goroutines (0 = all
-// cores; the Result is identical at any shard count), report written as
+// runScale executes the cloud-scale single-run smoke: one trace of n
+// VMs of the named scenario, cluster sized by the cheap peak-demand
+// bound, one indexed deflation run with the sample/reinflation passes
+// sharded across `shards` goroutines and arrival placement partitioned
+// across `partitions` placement partitions (0 = all cores; the Result
+// is identical at any shard and partition count), report written as
 // JSON.
-func runScale(n, shards int, seed int64, outPath string) {
+func runScale(n, shards, partitions int, scenario string, seed int64, outPath string) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("== scale smoke: %d-VM single deflation run (%d shards)\n", n, shards)
+	if partitions <= 0 {
+		partitions = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("== scale smoke: %d-VM single deflation run (%d shards, %d placement partitions)\n",
+		n, shards, partitions)
 	t0 := time.Now()
-	tr, err := trace.GenerateScenario(trace.ScenarioConfig{
-		Kind: trace.ScenarioHeavyTail, NumVMs: n, Duration: 3 * 86400, Seed: seed,
-	})
+	tr, err := trace.GenerateNamed(scenario, n, 3*86400, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +79,8 @@ func runScale(n, shards int, seed int64, outPath string) {
 	}
 	t1 := time.Now()
 	res, err := clustersim.Run(clustersim.Config{
-		Trace: tr, Overcommit: 0.5, BaselineServers: base, Shards: shards,
+		Trace: tr, Overcommit: 0.5, BaselineServers: base,
+		Shards: shards, PlacementPartitions: partitions,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -80,10 +88,11 @@ func runScale(n, shards int, seed int64, outPath string) {
 	wall := time.Since(t1)
 	rep := scaleReport{
 		VMs:          n,
-		Scenario:     "heavytail",
+		Scenario:     scenario,
 		Servers:      res.Servers,
 		Overcommit:   0.5,
 		Shards:       shards,
+		Partitions:   partitions,
 		WallSeconds:  wall.Seconds(),
 		TraceSeconds: genDur.Seconds(),
 		Admitted:     res.Admitted,
@@ -112,10 +121,12 @@ func main() {
 	scale := flag.Int("scale", 0, "run only the cloud-scale single-run smoke at this VM count")
 	scaleOut := flag.String("scaleout", "BENCH_scale.json", "where -scale writes its JSON report")
 	shards := flag.Int("shards", 0, "intra-run shard count for -scale (0 = all cores, 1 = sequential)")
+	partitions := flag.Int("partitions", 0, "placement partitions for -scale (0 = all cores, 1 = sequential)")
+	scenario := flag.String("scenario", "heavytail", "scenario for -scale: azure, diurnal, bursty or heavytail")
 	flag.Parse()
 
 	if *scale > 0 {
-		runScale(*scale, *shards, *seed, *scaleOut)
+		runScale(*scale, *shards, *partitions, *scenario, *seed, *scaleOut)
 		return
 	}
 

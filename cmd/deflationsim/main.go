@@ -13,8 +13,9 @@
 //	deflationsim -workers 1                            # force sequential
 //	deflationsim -azure azure.csv
 //	deflationsim -vms 100000 -cpuprofile cpu.pprof     # diagnose scale regressions
-//	deflationsim -vms 1000000 -shards 0 -oc 50 -strategies proportional
-//	                                # one giant run sharded across all cores
+//	deflationsim -vms 1000000 -shards 0 -partitions 0 -oc 50 -strategies proportional
+//	                                # one giant run: sample/reinflation shards and
+//	                                # propose/commit placement partitions on all cores
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 	replicates := flag.Int("replicates", 1, "independently seeded traces to average over (synthetic only)")
 	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = all cores)")
 	shards := flag.Int("shards", 1, "intra-run shard count per simulation (0 = all cores, 1 = sequential); results are shard-count-invariant")
+	partitions := flag.Int("partitions", 1, "placement partitions per simulation: parallel propose/commit arrival placement (0 = all cores, 1 = sequential); results are partition-count-invariant")
 	ocList := flag.String("oc", "0,10,20,30,40,50,60,70", "overcommitment percentages")
 	strategies := flag.String("strategies", strings.Join(clustersim.Strategies, ","),
 		"comma-separated strategies")
@@ -80,7 +82,10 @@ func main() {
 	if *shards <= 0 {
 		*shards = runtime.GOMAXPROCS(0)
 	}
-	opts := clustersim.Options{Workers: *workers, Shards: *shards}
+	if *partitions <= 0 {
+		*partitions = runtime.GOMAXPROCS(0)
+	}
+	opts := clustersim.Options{Workers: *workers, Shards: *shards, PlacementPartitions: *partitions}
 
 	var results []*clustersim.SweepResult
 	switch {
@@ -93,7 +98,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *replicates > 1:
-		kind, err := trace.ParseScenario(*scenario)
+		gen, err := trace.ScenarioGenerator(*scenario, *nVMs, *days*86400)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,34 +106,19 @@ func main() {
 		for i := range seeds {
 			seeds[i] = *seed + int64(i)
 		}
-		gen := func(s int64) *trace.AzureTrace {
-			tr, err := trace.GenerateScenario(trace.ScenarioConfig{
-				Kind: kind, NumVMs: *nVMs, Duration: *days * 86400, Seed: s,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			return tr
-		}
 		fmt.Printf("scenario %s: %d VMs x %d replicates, horizon %.1f days (mean shown)\n\n",
-			kind, *nVMs, *replicates, *days)
+			*scenario, *nVMs, *replicates, *days)
 		reps, err := clustersim.ReplicatedSweep(gen, seeds, strats, ocs, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		results = clustersim.AverageSweeps(reps)
 	default:
-		kind, err := trace.ParseScenario(*scenario)
+		tr, err := trace.GenerateNamed(*scenario, *nVMs, *days*86400, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr, err := trace.GenerateScenario(trace.ScenarioConfig{
-			Kind: kind, NumVMs: *nVMs, Duration: *days * 86400, Seed: *seed,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("scenario %s: %d VMs, horizon %.1f days\n\n", kind, len(tr.VMs), tr.Duration()/86400)
+		fmt.Printf("scenario %s: %d VMs, horizon %.1f days\n\n", *scenario, len(tr.VMs), tr.Duration()/86400)
 		results, err = clustersim.SweepGrid(tr, strats, ocs, opts)
 		if err != nil {
 			log.Fatal(err)

@@ -119,6 +119,50 @@ func (ix *Index) AscendFrom(lower float64, visit func(name string, key float64) 
 	ascend(ix.root, lower, visit)
 }
 
+// FirstFitting returns the first entry in ascending (key, name) order
+// with key >= lower that satisfies fits — the tightest-fit query one
+// index answers for its own servers. The partitioned placement engine
+// gives each placement partition its own Index; MinFitting merges their
+// answers.
+func (ix *Index) FirstFitting(lower float64, fits func(name string) bool) (name string, key float64, ok bool) {
+	ix.AscendFrom(lower, func(n string, k float64) bool {
+		if fits(n) {
+			name, key, ok = n, k, true
+			return false
+		}
+		return true
+	})
+	return name, key, ok
+}
+
+// MinFitting is the merged best-of-partitions query: each index answers
+// FirstFitting for its own entries (with its own lower bound, so every
+// partition prunes by its own largest capacity), and the global winner
+// is the minimum (key, name) across partitions — exactly the entry a
+// single combined index would have returned, because each partition's
+// first fitting entry is its minimum fitting entry and the (key, name)
+// order is a total order over disjoint name sets.
+func MinFitting(indexes []*Index, lowers []float64, fits func(name string) bool) (string, float64, bool) {
+	var (
+		bestName string
+		bestKey  float64
+		found    bool
+	)
+	for i, ix := range indexes {
+		if ix == nil {
+			continue
+		}
+		n, k, ok := ix.FirstFitting(lowers[i], fits)
+		if !ok {
+			continue
+		}
+		if !found || less(k, n, bestKey, bestName) {
+			bestName, bestKey, found = n, k, true
+		}
+	}
+	return bestName, bestKey, found
+}
+
 // Min returns the smallest (key, name) entry.
 func (ix *Index) Min() (name string, key float64, ok bool) {
 	n := ix.root

@@ -137,6 +137,75 @@ func TestIndexMatchesReferenceModel(t *testing.T) {
 	}
 }
 
+// TestFirstFitting pins the per-index tightest-fit query: first entry
+// in (key, name) order at or above the bound that passes the filter.
+func TestFirstFitting(t *testing.T) {
+	ix := New()
+	ix.Upsert("a", 0.2)
+	ix.Upsert("b", 0.4)
+	ix.Upsert("c", 0.4)
+	ix.Upsert("d", 0.9)
+	fits := func(allowed ...string) func(string) bool {
+		return func(n string) bool {
+			for _, a := range allowed {
+				if n == a {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if n, k, ok := ix.FirstFitting(0, fits("b", "c", "d")); !ok || n != "b" || k != 0.4 {
+		t.Fatalf("FirstFitting = %q %v %v, want b 0.4 true", n, k, ok)
+	}
+	// The bound prunes below; name breaks the 0.4 tie.
+	if n, _, ok := ix.FirstFitting(0.41, fits("a", "b", "c", "d")); !ok || n != "d" {
+		t.Fatalf("FirstFitting above bound = %q %v, want d", n, ok)
+	}
+	if _, _, ok := ix.FirstFitting(0, fits()); ok {
+		t.Fatal("FirstFitting with nothing fitting should miss")
+	}
+}
+
+// TestMinFitting pins the merged best-of-partitions query: the global
+// (key, name) minimum across per-partition answers, each with its own
+// lower bound, equal to what one combined index would return.
+func TestMinFitting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const parts = 3
+	ixs := make([]*Index, parts)
+	lowers := make([]float64, parts)
+	for i := range ixs {
+		ixs[i] = New()
+	}
+	combined := New()
+	keyOf := map[string]float64{}
+	for i := 0; i < 90; i++ {
+		name := fmt.Sprintf("node-%03d", i)
+		key := float64(rng.Intn(20)) / 20 // deliberate cross-partition ties
+		ixs[i%parts].Upsert(name, key)
+		combined.Upsert(name, key)
+		keyOf[name] = key
+	}
+	fits := func(n string) bool { return keyOf[n] >= 0.3 }
+	for trial := 0; trial < 50; trial++ {
+		lower := rng.Float64()
+		for i := range lowers {
+			lowers[i] = lower
+		}
+		gn, gk, gok := MinFitting(ixs, lowers, fits)
+		wn, wk, wok := combined.FirstFitting(lower, fits)
+		if gok != wok || gn != wn || gk != wk {
+			t.Fatalf("bound %v: MinFitting = %q %v %v, combined = %q %v %v",
+				lower, gn, gk, gok, wn, wk, wok)
+		}
+	}
+	// Nil indexes (a pool absent from a partition) are skipped.
+	if _, _, ok := MinFitting([]*Index{nil, nil}, []float64{0, 0}, fits); ok {
+		t.Fatal("MinFitting over nil indexes should miss")
+	}
+}
+
 func TestDirtySet(t *testing.T) {
 	s := NewDirtySet()
 	if got := s.Drain(); got != nil {

@@ -17,12 +17,18 @@
 // brute-force linear-scan path, which implements the identical selection
 // rule — the differential test suite asserts both paths place bit-for-bit
 // identically.
+//
+// With Config.PlacementPartitions > 1 the servers are split across
+// placement partitions, each owning its own indexes, dirty set and
+// scratch arenas, and batch placements (PlaceVMs) run a parallel
+// propose / serial commit protocol whose results are bit-for-bit
+// identical at any partition count — see partition.go for the protocol
+// and its invariants.
 package cluster
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"vmdeflate/internal/cluster/capindex"
@@ -106,6 +112,17 @@ type Config struct {
 	// and published in the same deterministic first-touched server order
 	// the sequential path uses.
 	ReinflateShards int
+	// PlacementPartitions splits the servers across this many placement
+	// partitions (round-robin by add order), each owning its own
+	// capacity-index treaps, dirty set and propose arenas. Batch
+	// placements (PlaceVMs) then propose in parallel across partitions
+	// and commit serially in input order — see partition.go. 0 or 1
+	// keeps the fully sequential engine. Placement results, counters and
+	// notifications are bit-for-bit identical at any partition count
+	// (guarded by the differential suites); the knob trades propose
+	// parallelism against per-batch barrier overhead. Forced to 1 when
+	// ReferencePlacement is set.
+	PlacementPartitions int
 }
 
 func (c *Config) applyDefaults() {
@@ -133,6 +150,10 @@ type Server struct {
 	// Partition is the server's priority pool (0-based); -1 when
 	// partitioning is disabled.
 	Partition int
+	// gidx is the server's add order within its Manager — the canonical
+	// tie-break for equal-fitness candidates, stable across placement
+	// partition counts. Zero for standalone servers.
+	gidx int
 
 	// Cached placement state, refreshed by the owning Manager's dirty
 	// sync (syncDirtyLocked) and read only under the Manager's lock.
@@ -173,13 +194,12 @@ type Manager struct {
 	byName     map[string]*Server
 	placements map[string]*Server
 
-	// Incremental capacity index: one ordered index per partition keyed
-	// by dominant free share, a per-partition component-wise max capacity
-	// (the safe lower bound for index scans), and the dirty set fed by
-	// the hosts' aggregate-change callbacks.
-	indexes    map[int]*capindex.Index
-	partMaxCap map[int]resources.Vector
-	dirty      *capindex.DirtySet
+	// Placement partitions: each owns, for its round-robin share of the
+	// servers, the per-priority-pool capacity indexes, the dirty set fed
+	// by its hosts' aggregate-change callbacks, and the propose/sync
+	// arenas of the parallel batch engine (partition.go). Always at
+	// least one.
+	parts []*placePartition
 
 	// Cluster-wide totals for O(1) Stats: capacity is exact (updated on
 	// AddServer); committed and allocated are delta-maintained from the
@@ -204,6 +224,32 @@ type Manager struct {
 	cands         candList
 	affected      []*Server
 	reinflateErrs []error
+
+	// Batch-placement state, reused across PlaceVMs calls and touched
+	// only under mu (the propose arenas live on the partitions). The
+	// touched set tracks servers mutated by earlier commits of the
+	// current batch — the conflict signal for proposal validation.
+	one          [1]hypervisor.DomainConfig
+	results      []Placement
+	batchDCs     []hypervisor.DomainConfig
+	batchPools   []int
+	needPressure []bool
+	touched      map[*Server]bool
+	touchedList  []*Server
+	touchedCands candList
+	walkHeads    []int
+	foldHeads    []int
+	mfIdx        []*capindex.Index
+	mfLow        []float64
+
+	// Phase worker pool (partition.go): lazily spawned when there is
+	// more than one partition, stopped by Close. phase and sortVM are
+	// the dispatcher-to-worker arguments, ordered by the work channel.
+	phase  int
+	sortVM int
+	workCh chan int
+	wg     sync.WaitGroup
+	closed bool
 }
 
 // DeflationEvents returns how many times an existing VM's allocation
@@ -224,14 +270,25 @@ func (m *Manager) Rejections() int {
 // NewManager creates a manager with the given configuration.
 func NewManager(cfg Config) *Manager {
 	cfg.applyDefaults()
-	return &Manager{
+	nParts := cfg.PlacementPartitions
+	if nParts < 1 || cfg.ReferencePlacement {
+		nParts = 1
+	}
+	m := &Manager{
 		cfg:        cfg,
 		byName:     make(map[string]*Server),
 		placements: make(map[string]*Server),
-		indexes:    make(map[int]*capindex.Index),
-		partMaxCap: make(map[int]resources.Vector),
-		dirty:      capindex.NewDirtySet(),
+		parts:      make([]*placePartition, nParts),
 	}
+	for i := range m.parts {
+		m.parts[i] = &placePartition{
+			id:      i,
+			indexes: make(map[int]*capindex.Index),
+			maxCap:  make(map[int]resources.Vector),
+			dirty:   capindex.NewDirtySet(),
+		}
+	}
+	return m
 }
 
 // Config returns the manager's configuration.
@@ -254,41 +311,23 @@ func (m *Manager) AddServer(name string, capacity resources.Vector, partition in
 	if !m.cfg.PartitionByPriority {
 		partition = -1
 	}
-	s := &Server{Host: h, Partition: partition}
+	// Round-robin placement-partition assignment by add order: balanced,
+	// stable, and independent of anything the run computes.
+	pp := m.parts[len(m.servers)%len(m.parts)]
+	s := &Server{Host: h, Partition: partition, gidx: len(m.servers)}
 	m.servers = append(m.servers, s)
 	m.byName[name] = s
-	if m.indexes[partition] == nil {
-		m.indexes[partition] = capindex.New()
+	pp.servers = append(pp.servers, s)
+	if pp.indexes[partition] == nil {
+		pp.indexes[partition] = capindex.New()
 	}
-	m.partMaxCap[partition] = m.partMaxCap[partition].Max(capacity)
+	pp.maxCap[partition] = pp.maxCap[partition].Max(capacity)
 	m.totCapacity = m.totCapacity.Add(capacity)
 	// The callback only records dirtiness; the next query refreshes the
 	// server's index key, cached availability and the cluster totals.
-	h.OnAggregateChange(func() { m.dirty.Mark(name) })
-	m.dirty.Mark(name)
+	h.OnAggregateChange(func() { pp.dirty.Mark(name) })
+	pp.dirty.Mark(name)
 	return s, nil
-}
-
-// syncDirtyLocked refreshes cached placement state for every server the
-// hosts marked dirty since the last query, in sorted name order. Called
-// with m.mu held at the top of every query; between bursts of churn it
-// is a no-op.
-func (m *Manager) syncDirtyLocked() {
-	for _, name := range m.dirty.Drain() {
-		s := m.byName[name]
-		if s == nil {
-			continue
-		}
-		agg := s.Host.Aggregates()
-		m.totCommitted = m.totCommitted.Add(agg.Committed.Sub(s.agg.Committed))
-		m.totAllocated = m.totAllocated.Add(agg.Allocated.Sub(s.agg.Allocated))
-		s.agg = agg
-		total := s.Host.Capacity()
-		s.free = total.Sub(agg.Allocated)
-		s.freeShare = s.free.DominantShare(total)
-		s.avail = availabilityFrom(total, agg)
-		m.indexes[s.Partition].Upsert(name, s.freeShare)
-	}
 }
 
 // Servers returns the managed servers.
@@ -362,94 +401,77 @@ func availabilityFrom(total resources.Vector, agg hypervisor.Aggregates) resourc
 // eps/capacity, far less than this margin.
 const fitMargin = 1e-7
 
+// errExists and errNoCapacity build the placement error values; one
+// definition keeps the sequential and batch paths' errors identical.
+func errExists(name string) error {
+	return fmt.Errorf("%w: VM %s", ErrExists, name)
+}
+
+func errNoCapacity(dc hypervisor.DomainConfig) error {
+	return fmt.Errorf("%w: %s (size %v)", ErrNoCapacity, dc.Name, dc.Size)
+}
+
+// Placement is one VM's outcome in a PlaceVMs batch.
+type Placement struct {
+	Domain *hypervisor.Domain
+	Server *Server
+	Err    error
+	// Initial is the domain's allocation right after its own launch,
+	// before any later commit of the same batch could deflate it — what
+	// a caller placing VMs one at a time would have read back
+	// immediately. Zero when Err is set.
+	Initial resources.Vector
+	// NeedsReclaim records whether, at the moment this VM's placement
+	// was decided (after every earlier commit of its batch), no server
+	// could host it without deflation — the signal the simulation engine
+	// counts as a reclamation attempt.
+	NeedsReclaim bool
+}
+
 // PlaceVM runs the three-step placement of Section 6: pick the fittest
 // server, have it compute the deflation required to make room (possibly
 // deflating the newcomer itself), then perform the deflation and launch.
 // It returns the running domain and its server, or ErrNoCapacity.
+//
+// Surplus-first: "when there is surplus capacity in the cluster, the
+// cloud manager allocates these resources ... without deflating"
+// (Section 5). Among servers that can host the VM with no deflation,
+// tightest fit (smallest dominant free share, name-tiebroken) preserves
+// large contiguous capacity for future big VMs. Under pressure, servers
+// are ranked by the deflation-aware availability fitness of Section 5.2
+// and residents are deflated on the best server that can absorb the
+// newcomer.
 func (m *Manager) PlaceVM(dc hypervisor.DomainConfig) (*hypervisor.Domain, *Server, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.placements[dc.Name]; ok {
-		return nil, nil, fmt.Errorf("%w: VM %s", ErrExists, dc.Name)
-	}
-	m.syncDirtyLocked()
-	part := m.PartitionOf(dc)
+	m.one[0] = dc
+	m.placeAllLocked(m.one[:1])
+	out := m.results[0]
+	return out.Domain, out.Server, out.Err
+}
 
-	// Surplus-first: "when there is surplus capacity in the cluster, the
-	// cloud manager allocates these resources ... without deflating"
-	// (Section 5). Among servers that can host the VM with no deflation,
-	// tightest fit (smallest dominant free share, name-tiebroken)
-	// preserves large contiguous capacity for future big VMs; spreading
-	// every VM across all servers would leave a little unreclaimable
-	// (non-deflatable) allocation everywhere and strand large on-demand
-	// arrivals.
-	best := m.surplusCandidateLocked(part, dc.Size)
-	if best != nil {
-		d, deflations, err := PlaceOn(best, m.cfg, dc)
-		if err == nil {
-			m.deflationEvents += deflations
-			m.placements[dc.Name] = best
-			return d, best, nil
-		}
-	}
-
-	// Under pressure: rank by the deflation-aware availability fitness
-	// of Section 5.2 and deflate residents on the best server that can
-	// absorb the newcomer. The fitness inputs are the cached
-	// availability vectors (refreshed above for dirty servers only); the
-	// reference path recomputes them from the host aggregates, which is
-	// bit-equal.
-	cands := m.cands[:0]
-	for _, s := range m.servers {
-		if part >= 0 && s.Partition != part {
-			continue
-		}
-		avail := s.avail
-		if m.cfg.ReferencePlacement {
-			avail = Availability(s)
-		}
-		cands = append(cands, cand{s, Fitness(dc.Size, avail), len(cands)})
-	}
-	m.cands = cands
-
-	// The newcomer's own deflatable range joins every server's maximum
-	// reclaim for the feasibility pre-filter below.
-	var ncRange resources.Vector
-	if dc.Deflatable {
-		ncRange = dc.Size.Sub(dc.Floor()).ClampNonNegative()
-	}
-
-	// The visit order is (fitness desc, idx asc) — but the top-ranked
-	// server absorbs the newcomer in the overwhelmingly common case, so
-	// the full O(S log S) sort is deferred: try the argmax first (one
-	// linear scan; ascending scan with strict > keeps the idx asc
-	// tie-break), and only if that server cannot make room sort the
-	// whole list and continue from rank 1. The sequence of servers
-	// tried is exactly the sorted order either way.
-	first := -1
-	for i := range cands {
-		if first < 0 || cands[i].fitness > cands[first].fitness {
-			first = i
-		}
-	}
-	if first >= 0 && cands[first].s != best {
-		if d, s, ok := m.tryPlaceLocked(cands[first].s, dc, ncRange); ok {
-			return d, s, nil
-		}
-	}
-	if first >= 0 {
-		sort.Sort(&m.cands)
-		for rank, c := range m.cands {
-			if c.s == best || rank == 0 {
-				continue // already tried above (argmax == rank 0)
-			}
-			if d, s, ok := m.tryPlaceLocked(c.s, dc, ncRange); ok {
-				return d, s, nil
-			}
-		}
-	}
-	m.rejections++
-	return nil, nil, fmt.Errorf("%w: %s (size %v)", ErrNoCapacity, dc.Name, dc.Size)
+// PlaceVMs places a batch of VMs exactly as if PlaceVM had been called
+// for each in order — placements, counters, errors and notifications
+// are bit-for-bit identical at any Config.PlacementPartitions — but
+// with the proposal work fanned out across the placement partitions:
+// every partition proposes, side-effect-free and in parallel, its
+// surplus bid (and, for VMs with no surplus anywhere, its
+// under-pressure fitness ranking) for every VM of the batch; a serial
+// commit pass then walks the VMs in input order, validates each winning
+// bid against what earlier commits of the batch consumed, and
+// re-proposes only on conflict. The simulation engine feeds it the
+// same-timestamp arrival batches of a trace.
+//
+// Results are appended to out (which may be nil) and the extended slice
+// is returned, so a caller owns its results — the Manager stays safe
+// for concurrent use — while a loop reusing its buffer
+// (`buf = m.PlaceVMs(dcs, buf[:0])`) stays allocation-free in steady
+// state.
+func (m *Manager) PlaceVMs(dcs []hypervisor.DomainConfig, out []Placement) []Placement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.placeAllLocked(dcs)
+	return append(out, m.results...)
 }
 
 // reserveMargin pads the feasibility pre-filter so it can only skip
@@ -483,11 +505,15 @@ func (m *Manager) tryPlaceLocked(s *Server, dc hypervisor.DomainConfig, ncRange 
 	return d, s, true
 }
 
-// cand is one under-pressure placement candidate. idx is the pool
-// position, which makes the (fitness desc, idx asc) order a strict
-// total order: sorting with any algorithm yields the stable-descending
-// ranking, without the reflection-based swapper sort.SliceStable costs
-// on a struct slice (it showed up at ~20% of a 100k-VM run's profile).
+// cand is one under-pressure placement candidate. idx is the server's
+// manager-wide add order (Server.gidx) — a partition-independent total
+// order, which is what lets commitPressureLocked merge per-partition
+// rankings into exactly the sequential (fitness desc, idx asc) visit
+// order; do not replace it with a positional index. The strict total
+// order also means sorting with any algorithm yields the
+// stable-descending ranking, without the reflection-based swapper
+// sort.SliceStable costs on a struct slice (it showed up at ~20% of a
+// 100k-VM run's profile).
 type cand struct {
 	s       *Server
 	fitness float64
@@ -498,27 +524,27 @@ type candList []cand
 
 func (c candList) Len() int      { return len(c) }
 func (c candList) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
-func (c candList) Less(i, j int) bool {
-	if c[i].fitness != c[j].fitness {
-		return c[i].fitness > c[j].fitness
-	}
-	return c[i].idx < c[j].idx
-}
+
+// Less delegates to candBefore so the sort order and the partitioned
+// engine's merge order share one definition — they must stay
+// bit-identical or partitioned placement diverges from sequential.
+func (c candList) Less(i, j int) bool { return candBefore(c[i], c[j]) }
 
 // surplusCandidateLocked returns the tightest-fit server that can host
 // size without any deflation — the server with the smallest (dominant
 // free share, name) among those whose free vector fits size — or nil.
-// The indexed path scans the partition's ordered index ascending from a
-// demand-share lower bound, so it inspects O(log S) plus however many
-// near-full servers fit on the dominant dimension but not the others;
-// the reference path scans every server and applies the identical
-// minimisation.
-func (m *Manager) surplusCandidateLocked(part int, size resources.Vector) *Server {
+// The indexed path asks every placement partition's ordered index for
+// its first fitting entry (ascending from a partition-local
+// demand-share lower bound, so each scan inspects O(log S) plus however
+// many near-full servers fit on the dominant dimension but not the
+// others) and takes the minimum across partitions; the reference path
+// scans every server and applies the identical minimisation.
+func (m *Manager) surplusCandidateLocked(pool int, size resources.Vector) *Server {
 	if m.cfg.ReferencePlacement {
 		var best *Server
 		bestKey := 0.0
 		for _, s := range m.servers {
-			if part >= 0 && s.Partition != part {
+			if pool >= 0 && s.Partition != pool {
 				continue
 			}
 			total := s.Host.Capacity()
@@ -533,35 +559,32 @@ func (m *Manager) surplusCandidateLocked(part int, size resources.Vector) *Serve
 		}
 		return best
 	}
-	ix := m.indexes[part]
-	if ix == nil {
+	// Any fitting server's free share is at least the demand's dominant
+	// share of its partition's largest capacity (minus float fuzz), so
+	// each index prunes everything below its own bound.
+	ixs, lows := m.mfIdx[:0], m.mfLow[:0]
+	for _, p := range m.parts {
+		ix := p.indexes[pool]
+		var lower float64
+		if ix != nil {
+			lower = size.DominantShare(p.maxCap[pool]) - fitMargin
+		}
+		ixs, lows = append(ixs, ix), append(lows, lower)
+	}
+	m.mfIdx, m.mfLow = ixs, lows
+	name, _, ok := capindex.MinFitting(ixs, lows, func(n string) bool {
+		return size.FitsIn(m.byName[n].free)
+	})
+	if !ok {
 		return nil
 	}
-	// Any fitting server's free share is at least the demand's dominant
-	// share of the partition's largest capacity (minus float fuzz), so
-	// everything below that bound can be pruned.
-	lower := size.DominantShare(m.partMaxCap[part]) - fitMargin
-	var found *Server
-	ix.AscendFrom(lower, func(name string, _ float64) bool {
-		s := m.byName[name]
-		if size.FitsIn(s.free) {
-			found = s
-			return false
-		}
-		return true
-	})
-	return found
+	return m.byName[name]
 }
 
-// FitsWithoutDeflation reports whether any server in the cluster
-// (regardless of partition) can host size with no deflation. The
-// simulation engine uses it to count reclamation attempts; with the
-// capacity index the check is O(partitions × log S) instead of a full
-// scan.
-func (m *Manager) FitsWithoutDeflation(size resources.Vector) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.syncDirtyLocked()
+// anyFitsLocked reports whether any server in the cluster (regardless
+// of priority pool) can host size with no deflation, from the live
+// partition indexes. Order-independent: it is an existence check.
+func (m *Manager) anyFitsLocked(size resources.Vector) bool {
 	if m.cfg.ReferencePlacement {
 		for _, s := range m.servers {
 			if size.FitsIn(s.Host.Capacity().Sub(s.Host.Aggregates().Allocated)) {
@@ -570,12 +593,26 @@ func (m *Manager) FitsWithoutDeflation(size resources.Vector) bool {
 		}
 		return false
 	}
-	for part := range m.indexes {
-		if m.surplusCandidateLocked(part, size) != nil {
-			return true
+	for _, p := range m.parts {
+		for pool := range p.indexes {
+			if p.surplusLocal(m, pool, size) != nil {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// FitsWithoutDeflation reports whether any server in the cluster
+// (regardless of priority pool) can host size with no deflation. With
+// the capacity indexes the check is O(partitions × pools × log S)
+// instead of a full scan. Batch placements report the same signal
+// per VM through Placement.NeedsReclaim.
+func (m *Manager) FitsWithoutDeflation(size resources.Vector) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncDirtyLocked()
+	return m.anyFitsLocked(size)
 }
 
 // PlaceOn attempts placement on one server, implementing steps 2 and 3

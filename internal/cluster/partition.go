@@ -1,0 +1,701 @@
+// Placement partitions: the parallel propose / serial commit arrival
+// engine.
+//
+// The manager splits its servers round-robin across
+// Config.PlacementPartitions placement partitions (orthogonal to the
+// paper's priority pools, which remain a property of each server). Each
+// partition owns, for its servers only: one capacity-index treap per
+// priority pool, the dirty set fed by its hosts' aggregate-change
+// callbacks, and the scratch arenas the propose phases write into — so
+// partitions never share mutable state and a batch's propose work fans
+// out across a small pool of phase workers without locks.
+//
+// A batch placement (PlaceVMs) runs in two steps:
+//
+//   - Propose (parallel, side-effect-free): against the batch-start
+//     state, every partition computes for every VM its surplus bid (the
+//     partition's tightest-fit server with free capacity) and — for VMs
+//     no partition could surplus-place — its under-pressure fitness
+//     ranking from the cached availability vectors. Rankings are left
+//     unsorted with just the argmax recorded; segments are sorted
+//     on demand (in parallel) only when the argmax cannot absorb a VM,
+//     preserving the argmax-first fast path of the sequential engine.
+//   - Commit (serial, batch order): VMs commit in input order — the
+//     canonical trace order, so results cannot depend on the partition
+//     count. Each commit first drains the dirty servers (exactly the
+//     ones earlier commits touched), then validates the merged proposal:
+//     if no server in the VM's priority pool was touched by an earlier
+//     commit, the proposals are still exact and are used directly;
+//     otherwise the commit re-proposes — surplus from the live indexes,
+//     pressure by weaving the touched servers' live ranks into the
+//     partitions' sorted proposal segments (stale entries skipped), or
+//     by a full live re-rank when the VM had no pressure proposal at
+//     all. Touched sets are tiny (one server per earlier commit), so
+//     conflicts cost O(touched + log S), not a re-scan.
+//
+// Determinism: propose never mutates, commits happen one at a time in
+// batch order, and every merged selection uses the same strict total
+// orders as the sequential path — (free share, name) for surplus,
+// (fitness desc, server add-index asc) for pressure — so the outcome is
+// bit-for-bit identical to the sequential indexed path and to the
+// brute-force reference at any partition count, which the differential
+// suites assert.
+package cluster
+
+import (
+	"runtime"
+	"sort"
+
+	"vmdeflate/internal/cluster/capindex"
+	"vmdeflate/internal/hypervisor"
+	"vmdeflate/internal/resources"
+)
+
+// placePartition is one placement partition: a slice of the cluster's
+// servers plus everything the partition owns for them — per-pool
+// capacity indexes, the dirty set, and the propose/sync arenas. All
+// fields are touched only under the manager's lock or by the single
+// phase worker the dispatcher hands this partition to.
+type placePartition struct {
+	id      int
+	servers []*Server // in AddServer order (ascending Server.gidx)
+
+	indexes map[int]*capindex.Index    // per priority pool, this partition's servers only
+	maxCap  map[int]resources.Vector   // per-pool component-wise max capacity
+	dirty   *capindex.DirtySet         // fed by this partition's hosts' callbacks
+
+	// Propose arenas, valid for the current batch.
+	surplus []*Server // per-VM surplus bid (nil: none in this partition)
+	pcands  []cand    // flat under-pressure ranking arena
+	spans   []span    // per-VM [start,end) segment of pcands
+	argmax  []int32   // per-VM argmax position in pcands (-1: empty)
+	sortedv []bool    // per-VM: segment already sorted?
+	seg     candList  // reusable sort view over one segment
+
+	// Sync arenas: the drained dirty names (sorted) and the per-server
+	// aggregate deltas the serial fold applies to the cluster totals.
+	names  []string
+	deltaC []resources.Vector
+	deltaA []resources.Vector
+}
+
+// span is one VM's segment of a partition's flat proposal arena.
+type span struct{ start, end int32 }
+
+// Worker phases. The dispatcher writes the phase (and any phase
+// argument) before the channel sends that release the workers, so the
+// reads in runPhase are ordered by the channel.
+const (
+	phaseSync = iota
+	phaseSurplus
+	phasePressure
+	phaseSort
+)
+
+// parallelSyncMin is the dirty-server count below which the refresh
+// stays on the calling goroutine: draining a handful of servers is
+// cheaper than a worker round trip.
+const parallelSyncMin = 64
+
+// grow returns s with length n, reusing its backing array when large
+// enough. Contents of reused elements are unspecified; callers
+// overwrite every slot they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// candBefore is the strict total pressure order: fitness descending,
+// server add-index ascending. It is candList.Less on two loose values.
+func candBefore(a, b cand) bool {
+	if a.fitness != b.fitness {
+		return a.fitness > b.fitness
+	}
+	return a.idx < b.idx
+}
+
+// newcomerRange is the newcomer's own deflatable range, which joins
+// every server's maximum reclaim in the feasibility pre-filter.
+func newcomerRange(dc hypervisor.DomainConfig) resources.Vector {
+	if !dc.Deflatable {
+		return resources.Vector{}
+	}
+	return dc.Size.Sub(dc.Floor()).ClampNonNegative()
+}
+
+// startWorkersLocked lazily spawns the phase workers: one per
+// partition, capped at GOMAXPROCS but always at least two so the
+// propose/commit concurrency is real (and race-checked) even on a
+// single-core machine. After Close the manager stays usable with
+// phases running inline.
+func (m *Manager) startWorkersLocked() {
+	if m.workCh != nil || m.closed || len(m.parts) <= 1 {
+		return
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > len(m.parts) {
+		w = len(m.parts)
+	}
+	if w < 2 {
+		w = 2
+	}
+	m.workCh = make(chan int, len(m.parts))
+	for i := 0; i < w; i++ {
+		go m.phaseWorker(m.workCh)
+	}
+}
+
+// phaseWorker receives the channel as an argument (rather than reading
+// the field) so Close can nil the field under the manager lock without
+// racing a worker that is still starting up.
+func (m *Manager) phaseWorker(ch chan int) {
+	for id := range ch {
+		m.runPhase(m.parts[id], m.phase)
+		m.wg.Done()
+	}
+}
+
+// dispatchLocked runs one phase over every partition and waits for the
+// barrier. The phase (and m.sortVM for phaseSort) must be set before
+// the call; the channel sends order those writes before the workers'
+// reads, and wg.Wait orders the workers' writes before the dispatcher
+// continues.
+func (m *Manager) dispatchLocked(phase int) {
+	m.startWorkersLocked()
+	if m.workCh == nil {
+		for _, p := range m.parts {
+			m.runPhase(p, phase)
+		}
+		return
+	}
+	m.phase = phase
+	m.wg.Add(len(m.parts))
+	for id := range m.parts {
+		m.workCh <- id
+	}
+	m.wg.Wait()
+}
+
+func (m *Manager) runPhase(p *placePartition, phase int) {
+	switch phase {
+	case phaseSync:
+		p.refresh(m)
+	case phaseSurplus:
+		p.proposeSurplus(m)
+	case phasePressure:
+		p.proposePressure(m)
+	case phaseSort:
+		p.sortSegment(m.sortVM)
+	}
+}
+
+// Close stops the phase workers. The manager remains fully usable —
+// subsequent batches run their phases inline on the calling goroutine.
+// Engines close their manager when a run ends so that sweeps spinning
+// up thousands of managers do not accumulate idle goroutines.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.workCh != nil {
+		close(m.workCh)
+		m.workCh = nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+}
+
+// syncDirtyLocked refreshes cached placement state (per-server
+// aggregates, free/availability vectors, index keys) for every server
+// the hosts marked dirty since the last query. Each partition refreshes
+// its own servers — fanned out across the phase workers when the dirty
+// set is large — and the cluster-total deltas are then folded serially
+// in globally sorted name order, so the totals' float accumulation
+// order is identical at any partition and worker count (and to the
+// pre-partitioned engine, which drained one global set in sorted
+// order). Between bursts of churn it is a no-op.
+func (m *Manager) syncDirtyLocked() {
+	total := 0
+	for _, p := range m.parts {
+		p.names = p.dirty.Drain()
+		total += len(p.names)
+	}
+	if total == 0 {
+		return
+	}
+	if total >= parallelSyncMin && len(m.parts) > 1 {
+		m.dispatchLocked(phaseSync)
+	} else {
+		for _, p := range m.parts {
+			p.refresh(m)
+		}
+	}
+	m.foldDeltasLocked()
+}
+
+// refresh re-derives the cached state of this partition's dirty
+// servers. It writes only per-server fields and the partition's own
+// index, so refreshes of distinct partitions are safe in parallel; the
+// cluster-total deltas are recorded for the serial fold instead of
+// being applied here.
+func (p *placePartition) refresh(m *Manager) {
+	p.deltaC = p.deltaC[:0]
+	p.deltaA = p.deltaA[:0]
+	for _, name := range p.names {
+		s := m.byName[name]
+		agg := s.Host.Aggregates()
+		p.deltaC = append(p.deltaC, agg.Committed.Sub(s.agg.Committed))
+		p.deltaA = append(p.deltaA, agg.Allocated.Sub(s.agg.Allocated))
+		s.agg = agg
+		total := s.Host.Capacity()
+		s.free = total.Sub(agg.Allocated)
+		s.freeShare = s.free.DominantShare(total)
+		s.avail = availabilityFrom(total, agg)
+		p.indexes[s.Partition].Upsert(name, s.freeShare)
+	}
+}
+
+// foldDeltasLocked applies the partitions' recorded aggregate deltas to
+// the cluster totals in globally sorted server-name order: each
+// partition's drained list is already sorted and the partitions' name
+// sets are disjoint, so a k-way head merge visits names in exactly the
+// order one global sorted drain would have.
+func (m *Manager) foldDeltasLocked() {
+	heads := grow(m.foldHeads, len(m.parts))
+	for i := range heads {
+		heads[i] = 0
+	}
+	m.foldHeads = heads
+	for {
+		best := -1
+		for pi, p := range m.parts {
+			if heads[pi] >= len(p.names) {
+				continue
+			}
+			if best < 0 || p.names[heads[pi]] < m.parts[best].names[heads[best]] {
+				best = pi
+			}
+		}
+		if best < 0 {
+			return
+		}
+		p := m.parts[best]
+		j := heads[best]
+		m.totCommitted = m.totCommitted.Add(p.deltaC[j])
+		m.totAllocated = m.totAllocated.Add(p.deltaA[j])
+		heads[best]++
+	}
+}
+
+// surplusLocal answers the partition's tightest-fit surplus query: the
+// fitting server with the smallest (free share, name) among this
+// partition's pool servers, from its own index. Side-effect-free.
+func (p *placePartition) surplusLocal(m *Manager, pool int, size resources.Vector) *Server {
+	ix := p.indexes[pool]
+	if ix == nil {
+		return nil
+	}
+	lower := size.DominantShare(p.maxCap[pool]) - fitMargin
+	name, _, ok := ix.FirstFitting(lower, func(n string) bool {
+		return size.FitsIn(m.byName[n].free)
+	})
+	if !ok {
+		return nil
+	}
+	return m.byName[name]
+}
+
+// proposeSurplus records, for every VM of the batch, this partition's
+// surplus bid against the batch-start state.
+func (p *placePartition) proposeSurplus(m *Manager) {
+	p.surplus = grow(p.surplus, len(m.batchDCs))
+	for i := range m.batchDCs {
+		p.surplus[i] = p.surplusLocal(m, m.batchPools[i], m.batchDCs[i].Size)
+	}
+}
+
+// proposePressure records, for every VM the surplus phase could not
+// cover anywhere, this partition's under-pressure ranking: one cand per
+// pool server with its cosine fitness from the cached availability
+// vector, unsorted, with the argmax position noted. Sorting is deferred
+// to sortSegment so the argmax-first fast path never pays for it.
+func (p *placePartition) proposePressure(m *Manager) {
+	n := len(m.batchDCs)
+	p.spans = grow(p.spans, n)
+	p.argmax = grow(p.argmax, n)
+	p.sortedv = grow(p.sortedv, n)
+	p.pcands = p.pcands[:0]
+	for i := range m.batchDCs {
+		p.sortedv[i] = false
+		if !m.needPressure[i] {
+			p.spans[i] = span{}
+			p.argmax[i] = -1
+			continue
+		}
+		pool := m.batchPools[i]
+		size := m.batchDCs[i].Size
+		start := int32(len(p.pcands))
+		bestAt := int32(-1)
+		for _, s := range p.servers {
+			if pool >= 0 && s.Partition != pool {
+				continue
+			}
+			c := cand{s, Fitness(size, s.avail), s.gidx}
+			p.pcands = append(p.pcands, c)
+			if bestAt < 0 || c.fitness > p.pcands[bestAt].fitness {
+				bestAt = int32(len(p.pcands) - 1)
+			}
+		}
+		p.spans[i] = span{start, int32(len(p.pcands))}
+		p.argmax[i] = bestAt
+	}
+}
+
+// sortSegment sorts VM i's proposal segment in place (idempotent).
+func (p *placePartition) sortSegment(i int) {
+	if p.sortedv[i] {
+		return
+	}
+	if sp := p.spans[i]; sp.end > sp.start {
+		p.seg = p.pcands[sp.start:sp.end]
+		sort.Sort(&p.seg)
+	}
+	p.sortedv[i] = true
+}
+
+// placeAllLocked fills m.results for dcs: the sequential per-VM path
+// when there is a single partition (or the brute-force reference is
+// selected), the propose/commit engine otherwise.
+func (m *Manager) placeAllLocked(dcs []hypervisor.DomainConfig) {
+	m.results = grow(m.results, len(dcs))
+	if len(dcs) == 0 {
+		return
+	}
+	if len(m.parts) == 1 {
+		for i := range dcs {
+			m.results[i] = m.placeSequentialLocked(dcs[i])
+		}
+		return
+	}
+	m.placeBatchLocked(dcs)
+}
+
+// placeSequentialLocked is the one-VM-at-a-time placement decision —
+// the three-step protocol exactly as PlaceVM has always run it. The
+// propose/commit engine must match it bit for bit.
+func (m *Manager) placeSequentialLocked(dc hypervisor.DomainConfig) Placement {
+	m.syncDirtyLocked()
+	best := m.surplusCandidateLocked(m.PartitionOf(dc), dc.Size)
+	// A surplus candidate in the VM's own pool already proves some
+	// server fits without deflation; only its absence needs the
+	// cross-pool existence scan.
+	out := Placement{NeedsReclaim: best == nil && !m.anyFitsLocked(dc.Size)}
+	if _, ok := m.placements[dc.Name]; ok {
+		out.Err = errExists(dc.Name)
+		return out
+	}
+	if best != nil {
+		d, deflations, err := PlaceOn(best, m.cfg, dc)
+		if err == nil {
+			m.deflationEvents += deflations
+			m.placements[dc.Name] = best
+			out.Domain, out.Server = d, best
+			out.Initial = d.Allocation()
+			return out
+		}
+	}
+	if d, s, ok := m.pressureLiveLocked(dc, best); ok {
+		out.Domain, out.Server = d, s
+		out.Initial = d.Allocation()
+		return out
+	}
+	m.rejections++
+	out.Err = errNoCapacity(dc)
+	return out
+}
+
+// pressureLiveLocked is the live under-pressure ranking: score every
+// pool server by the deflation-aware availability fitness of Section
+// 5.2 and deflate residents on the best server that can absorb the
+// newcomer. The sort is deferred argmax-first (identical visit order);
+// best, when non-nil, is the surplus candidate that already failed and
+// is skipped. Used by the sequential path and by commits whose
+// proposals conflicted with earlier commits of their batch.
+func (m *Manager) pressureLiveLocked(dc hypervisor.DomainConfig, best *Server) (*hypervisor.Domain, *Server, bool) {
+	pool := m.PartitionOf(dc)
+	cands := m.cands[:0]
+	for _, s := range m.servers {
+		if pool >= 0 && s.Partition != pool {
+			continue
+		}
+		avail := s.avail
+		if m.cfg.ReferencePlacement {
+			avail = Availability(s)
+		}
+		cands = append(cands, cand{s, Fitness(dc.Size, avail), s.gidx})
+	}
+	m.cands = cands
+
+	ncRange := newcomerRange(dc)
+	first := -1
+	for i := range cands {
+		if first < 0 || cands[i].fitness > cands[first].fitness {
+			first = i
+		}
+	}
+	if first >= 0 && cands[first].s != best {
+		if d, s, ok := m.tryPlaceLocked(cands[first].s, dc, ncRange); ok {
+			return d, s, true
+		}
+	}
+	if first >= 0 {
+		sort.Sort(&m.cands)
+		for rank, c := range m.cands {
+			if c.s == best || rank == 0 {
+				continue // already tried above (argmax == rank 0)
+			}
+			if d, s, ok := m.tryPlaceLocked(c.s, dc, ncRange); ok {
+				return d, s, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// placeBatchLocked is the partitioned engine: parallel propose against
+// the batch-start state, then a serial commit walk in batch order.
+func (m *Manager) placeBatchLocked(dcs []hypervisor.DomainConfig) {
+	m.syncDirtyLocked()
+	m.proposeLocked(dcs)
+	if m.touched == nil {
+		m.touched = make(map[*Server]bool)
+	}
+	clear(m.touched)
+	m.touchedList = m.touchedList[:0]
+	for i := range dcs {
+		m.syncDirtyLocked() // drains exactly what the previous commit touched
+		m.results[i] = m.commitOneLocked(i, dcs[i])
+	}
+	m.batchDCs = nil // do not retain the caller's slice
+}
+
+// proposeLocked runs the parallel propose phases. Surplus bids are
+// proposed for every VM; pressure rankings only for VMs no partition
+// could surplus-place, determined by a cross-partition reduction
+// between the two phases.
+func (m *Manager) proposeLocked(dcs []hypervisor.DomainConfig) {
+	m.batchDCs = dcs
+	m.batchPools = grow(m.batchPools, len(dcs))
+	m.needPressure = grow(m.needPressure, len(dcs))
+	for i := range dcs {
+		m.batchPools[i] = m.PartitionOf(dcs[i])
+	}
+	m.dispatchLocked(phaseSurplus)
+	any := false
+	for i := range dcs {
+		need := true
+		for _, p := range m.parts {
+			if p.surplus[i] != nil {
+				need = false
+				break
+			}
+		}
+		m.needPressure[i] = need
+		any = any || need
+	}
+	if any {
+		m.dispatchLocked(phasePressure)
+	}
+}
+
+// markTouchedLocked records a server mutated by a commit of the current
+// batch; proposals naming it are stale from here on.
+func (m *Manager) markTouchedLocked(s *Server) {
+	if !m.touched[s] {
+		m.touched[s] = true
+		m.touchedList = append(m.touchedList, s)
+	}
+}
+
+// touchedInPoolLocked reports whether any earlier commit of this batch
+// mutated a server of the given priority pool.
+func (m *Manager) touchedInPoolLocked(pool int) bool {
+	if pool < 0 {
+		return len(m.touchedList) > 0
+	}
+	for _, s := range m.touchedList {
+		if s.Partition == pool {
+			return true
+		}
+	}
+	return false
+}
+
+// commitOneLocked commits VM i: the same decision placeSequentialLocked
+// makes, resolved from the batch proposals when they are still exact
+// and re-proposed live on conflict. Called with the dirty set drained.
+func (m *Manager) commitOneLocked(i int, dc hypervisor.DomainConfig) Placement {
+	pool := m.batchPools[i]
+	best := m.commitSurplusLocked(i, pool, dc.Size)
+	// As in placeSequentialLocked: a pool surplus winner implies the
+	// cross-pool existence check is true, so it is skipped.
+	out := Placement{NeedsReclaim: best == nil && !m.anyFitsLocked(dc.Size)}
+	if _, ok := m.placements[dc.Name]; ok {
+		out.Err = errExists(dc.Name)
+		return out
+	}
+	if best != nil {
+		d, deflations, err := PlaceOn(best, m.cfg, dc)
+		if err == nil {
+			m.deflationEvents += deflations
+			m.placements[dc.Name] = best
+			m.markTouchedLocked(best)
+			out.Domain, out.Server = d, best
+			out.Initial = d.Allocation()
+			return out
+		}
+	}
+	if d, s, ok := m.commitPressureLocked(i, dc, pool, best); ok {
+		m.markTouchedLocked(s)
+		out.Domain, out.Server = d, s
+		out.Initial = d.Allocation()
+		return out
+	}
+	m.rejections++
+	out.Err = errNoCapacity(dc)
+	return out
+}
+
+// commitSurplusLocked resolves VM i's surplus winner. With no touched
+// server in the VM's pool the proposals are exact (propose is
+// side-effect-free and untouched servers' cached state is unchanged
+// since the batch-start sync), so the winner is the minimum
+// (free share, name) over the partitions' bids; otherwise the batch
+// conflicted and the winner is re-proposed from the live indexes, which
+// the commit loop's dirty sync keeps current.
+func (m *Manager) commitSurplusLocked(i, pool int, size resources.Vector) *Server {
+	if m.touchedInPoolLocked(pool) {
+		return m.surplusCandidateLocked(pool, size)
+	}
+	var best *Server
+	for _, p := range m.parts {
+		s := p.surplus[i]
+		if s == nil {
+			continue
+		}
+		if best == nil || s.freeShare < best.freeShare ||
+			(s.freeShare == best.freeShare && s.Host.Name() < best.Host.Name()) {
+			best = s
+		}
+	}
+	return best
+}
+
+// commitPressureLocked resolves VM i's under-pressure placement from
+// the proposals: touched pool servers are re-ranked live and woven into
+// the partitions' segments (whose entries for them are skipped as
+// stale), giving exactly the (fitness desc, add-index asc) visit order
+// the sequential path produces at this state. The argmax-first fast
+// path holds whenever every partition's proposed argmax is untouched —
+// then the global argmax needs no sorting at all. A VM that lost its
+// surplus bid to an earlier commit has no pressure proposal and
+// re-proposes with a full live ranking.
+func (m *Manager) commitPressureLocked(i int, dc hypervisor.DomainConfig, pool int, best *Server) (*hypervisor.Domain, *Server, bool) {
+	if !m.needPressure[i] {
+		return m.pressureLiveLocked(dc, best) // re-propose on conflict
+	}
+	ncRange := newcomerRange(dc)
+
+	tl := m.touchedCands[:0]
+	for _, s := range m.touchedList {
+		if pool >= 0 && s.Partition != pool {
+			continue
+		}
+		tl = append(tl, cand{s, Fitness(dc.Size, s.avail), s.gidx})
+	}
+	m.touchedCands = tl
+	sort.Sort(&m.touchedCands)
+	tl = m.touchedCands
+
+	var tried *Server
+	fastOK := true
+	for _, p := range m.parts {
+		if am := p.argmax[i]; am >= 0 && m.touched[p.pcands[am].s] {
+			fastOK = false
+			break
+		}
+	}
+	if fastOK {
+		// Every partition argmax dominates all of its (live-valued)
+		// untouched entries, and tl[0] dominates the touched ones, so
+		// their maximum is the live global argmax.
+		var g cand
+		have := false
+		for _, p := range m.parts {
+			am := p.argmax[i]
+			if am < 0 {
+				continue
+			}
+			if !have || candBefore(p.pcands[am], g) {
+				g, have = p.pcands[am], true
+			}
+		}
+		if len(tl) > 0 && (!have || candBefore(tl[0], g)) {
+			g, have = tl[0], true
+		}
+		if !have {
+			return nil, nil, false // the pool has no servers at all
+		}
+		if g.s != best {
+			if d, s, ok := m.tryPlaceLocked(g.s, dc, ncRange); ok {
+				return d, s, true
+			}
+			tried = g.s
+		}
+	}
+
+	// Full walk: sort every partition's segment (in parallel, idempotent)
+	// and merge them with the live touched ranking.
+	m.sortVM = i
+	m.dispatchLocked(phaseSort)
+	heads := grow(m.walkHeads, len(m.parts)+1)
+	m.walkHeads = heads
+	for pi, p := range m.parts {
+		heads[pi] = int(p.spans[i].start)
+	}
+	ti := len(m.parts)
+	heads[ti] = 0
+	for {
+		bi := -1
+		var bc cand
+		for pi, p := range m.parts {
+			end := int(p.spans[i].end)
+			h := heads[pi]
+			for h < end && m.touched[p.pcands[h].s] {
+				h++ // stale entry; its live rank is in the touched stream
+			}
+			heads[pi] = h
+			if h >= end {
+				continue
+			}
+			if bi < 0 || candBefore(p.pcands[h], bc) {
+				bi, bc = pi, p.pcands[h]
+			}
+		}
+		if heads[ti] < len(tl) {
+			if bi < 0 || candBefore(tl[heads[ti]], bc) {
+				bi, bc = ti, tl[heads[ti]]
+			}
+		}
+		if bi < 0 {
+			return nil, nil, false
+		}
+		heads[bi]++
+		if bc.s == best || bc.s == tried {
+			continue
+		}
+		if d, s, ok := m.tryPlaceLocked(bc.s, dc, ncRange); ok {
+			return d, s, true
+		}
+	}
+}

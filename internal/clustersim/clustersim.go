@@ -38,15 +38,29 @@
 // (each VM's meters are touched by exactly one shard), and a
 // same-instant departure batch reinflates its affected servers on up to
 // Shards workers (each server's policy pass runs on exactly one worker,
-// against only that server's state). Arrival placement stays sequential
-// — each placement reads the capacity state every previous decision
-// wrote, so ordering is inherent to the model. Determinism holds at any
-// shard count because no floating-point accumulation crosses shards:
-// per-VM and per-server results are computed in isolation and merged in
-// a canonical order — demand/loss integrals per VM then summed in
+// against only that server's state). Determinism holds at any shard
+// count because no floating-point accumulation crosses shards: per-VM
+// and per-server results are computed in isolation and merged in a
+// canonical order — demand/loss integrals per VM then summed in
 // departure (time, trace-index) order, notification events published in
 // (time, first-touched server, VM name) order — so sharded == sequential
 // == reference placement bit for bit, proven by the differential suite.
+//
+// # Partitioned arrival placement
+//
+// Arrival placement — where each decision reads the capacity state
+// every previous decision wrote — cannot shard the same way; it
+// parallelises through Config.PlacementPartitions instead. The engine
+// coalesces same-timestamp arrival runs (beside the existing departure
+// batches) and hands each batch to the cluster manager's
+// propose/commit engine: every placement partition proposes its best
+// candidates for every VM of the batch in parallel and
+// side-effect-free, and a serial commit pass walks the VMs in trace
+// order, validating each winning bid against what earlier commits
+// consumed and re-proposing only on conflict (see
+// internal/cluster/partition.go). Commit order equals trace order, so
+// partitioned == sequential == reference placement bit for bit at any
+// partition count — also proven by the differential suite.
 //
 // VM records from an Azure-like trace (or one of the synthetic
 // scenario generators in internal/trace: diurnal, bursty/flash-crowd,
@@ -139,6 +153,16 @@ type Config struct {
 	// multiply under the sweep layer's worker pool; use them for one
 	// giant run, not inside a saturated sweep.
 	Shards int
+	// PlacementPartitions parallelises the one path Shards cannot: the
+	// arrival placement decisions. The cluster manager splits its
+	// servers across this many placement partitions; same-timestamp
+	// arrival batches are placed through the manager's propose/commit
+	// engine, where every partition proposes its best candidate for
+	// every VM in parallel and a serial commit walks the batch in trace
+	// order, re-proposing only on conflict. The Result is bit-for-bit
+	// identical at any partition count (guarded by the differential
+	// suite). 0 or 1 keeps the sequential placement engine.
+	PlacementPartitions int
 }
 
 // DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB RAM.

@@ -17,6 +17,31 @@ func testTrace(nVMs int) *trace.AzureTrace {
 	return trace.GenerateAzure(cfg)
 }
 
+// TestZeroLifetimeVMFreesCapacityForSameInstantArrivals pins the
+// departures-before-arrivals invariant through the arrival batching: a
+// zero-lifetime VM (End == Start, possible only in hand-written CSV
+// traces) must free its capacity before later arrivals at the same
+// instant are placed — the one-at-a-time engine's behavior, which the
+// batch coalescing must split to preserve — and the outcome must not
+// depend on the partition count.
+func TestZeroLifetimeVMFreesCapacityForSameInstantArrivals(t *testing.T) {
+	util := []float64{50, 50}
+	tr := &trace.AzureTrace{VMs: []*trace.VMRecord{
+		{ID: "vm-a", Class: trace.Unknown, Cores: 48, MemoryMB: 131072, Start: 0, End: 0, CPUUtil: util},
+		{ID: "vm-b", Class: trace.Unknown, Cores: 48, MemoryMB: 131072, Start: 0, End: 3600, CPUUtil: util},
+	}}
+	for _, partitions := range []int{0, 3} {
+		res, err := Run(Config{Trace: tr, BaselineServers: 1, PlacementPartitions: partitions})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Admitted != 2 || res.Rejected != 0 {
+			t.Fatalf("partitions=%d: admitted %d rejected %d; want the zero-lifetime VM's capacity freed for the same-instant arrival (2 admitted)",
+				partitions, res.Admitted, res.Rejected)
+		}
+	}
+}
+
 func TestBaselineServerCount(t *testing.T) {
 	tr := testTrace(300)
 	n, err := BaselineServerCount(tr, DefaultServerCapacity())

@@ -102,6 +102,84 @@ func TestShardedEngineMatchesSequentialAndReference(t *testing.T) {
 	}
 }
 
+// TestPartitionedEngineMatchesSequentialAndReference is the
+// propose/commit determinism guarantee: a run whose arrival placements
+// go through the partitioned engine — parallel per-partition proposals,
+// serial commits in trace order, re-proposal on conflict — must produce
+// a Result bit-for-bit identical to the sequential indexed engine AND
+// to the brute-force reference path, across scenarios, seeds and
+// partition counts (including partitions=1 and counts exceeding the
+// server count).
+func TestPartitionedEngineMatchesSequentialAndReference(t *testing.T) {
+	scenarios := []trace.Scenario{
+		trace.ScenarioDiurnal, trace.ScenarioBursty, trace.ScenarioHeavyTail,
+	}
+	partitionCounts := []int{1, 2, 3, 8, 64}
+	for _, kind := range scenarios {
+		for _, seed := range []int64{1, 2} {
+			tr, err := trace.GenerateScenario(trace.ScenarioConfig{
+				Kind: kind, NumVMs: 400, Duration: 86400, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Config{Trace: tr, Policy: policy.Priority{}, Overcommit: 0.5}
+			seq, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCfg := base
+			refCfg.ReferencePlacement = true
+			ref, err := Run(refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, ref) {
+				t.Fatalf("%v/seed=%d: sequential diverged from reference:\nseq %+v\nref %+v", kind, seed, *seq, *ref)
+			}
+			for _, parts := range partitionCounts {
+				name := fmt.Sprintf("%v/seed=%d/partitions=%d", kind, seed, parts)
+				t.Run(name, func(t *testing.T) {
+					cfg := base
+					cfg.PlacementPartitions = parts
+					got, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, seq) {
+						t.Fatalf("partitioned run diverged from sequential:\npartitioned %+v\nsequential  %+v", *got, *seq)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionedEngineMatchesSequentialShardedPools covers the full
+// parallel stack at once: placement partitions on top of intra-run
+// shards (sample pass + departure-batch reinflation) with
+// priority-partitioned pools, against the plain sequential engine.
+func TestPartitionedEngineMatchesSequentialShardedPools(t *testing.T) {
+	tr := testTrace(400)
+	base := Config{Trace: tr, Policy: policy.Priority{}, Partitioned: true, Overcommit: 0.5}
+	seq, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{2, 5} {
+		cfg := base
+		cfg.Shards = 4
+		cfg.PlacementPartitions = parts
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("partitions=%d: sharded+partitioned run diverged:\ngot %+v\nseq %+v", parts, *got, *seq)
+		}
+	}
+}
+
 // TestShardedEngineMatchesSequentialPartitioned covers sharding with
 // priority-partitioned pools and the deterministic policy — the
 // combination where per-server passes differ most between servers.

@@ -55,6 +55,11 @@ type Engine struct {
 
 	demandTotal float64
 	lostTotal   float64
+
+	// Arrival-batch scratch, reused across handleArrivals calls.
+	dcBuf   []hypervisor.DomainConfig
+	prioBuf []float64
+	plBuf   []cluster.Placement
 }
 
 // minShardedSample is the running-set size below which the sample pass
@@ -117,8 +122,10 @@ func (e *Engine) runDeflation() (*Result, error) {
 		Notify:              cfg.Notify,
 		ReferencePlacement:  cfg.ReferencePlacement,
 		ReinflateShards:     e.shards,
+		PlacementPartitions: cfg.PlacementPartitions,
 	}
 	e.mgr = cluster.NewManager(mgrCfg)
+	defer e.mgr.Close() // stop the partition phase workers with the run
 	partitions := partitionPlan(cfg, e.nServers)
 	for i := 0; i < e.nServers; i++ {
 		if _, err := e.mgr.AddServer(fmt.Sprintf("node-%03d", i), cfg.ServerCapacity, partitions[i]); err != nil {
@@ -149,8 +156,36 @@ func (e *Engine) runDeflation() (*Result, error) {
 				e.queue.push(simEvent{at: next, kind: evSample})
 			}
 		case evArrival:
-			e.res.Arrivals++
-			e.handleArrival(ev)
+			// Coalesce the run of arrivals sharing this timestamp into one
+			// batch for the manager's propose/commit placement engine. The
+			// queue's (time, kind, seq) order guarantees the batch is
+			// exactly the simultaneous arrivals, in trace order — the
+			// canonical commit order, so results are identical at any
+			// partition count (and to placing them one at a time). One
+			// exception preserves the departures-before-arrivals invariant
+			// of eventKind: a zero-lifetime VM (End == arrival instant,
+			// possible in hand-written CSV traces; the synthetic
+			// generators clip lifetimes to >= SampleInterval) departs at
+			// this same instant, and that departure must free its capacity
+			// for the arrivals still queued behind it — so it closes the
+			// batch, its departure event outranks the remaining arrivals,
+			// and the loop resumes batching after processing it.
+			batch = batch[:0]
+			batch = append(batch, ev)
+			if ev.vm.End > ev.at { // a zero-lifetime first VM is a singleton batch
+				for !e.queue.empty() {
+					next := e.queue.peek()
+					if next.at != ev.at || next.kind != evArrival {
+						break
+					}
+					nb := e.queue.pop()
+					batch = append(batch, nb)
+					if nb.vm.End <= nb.at {
+						break // zero-lifetime VM closes the batch (see above)
+					}
+				}
+			}
+			e.handleArrivals(batch)
 		case evDeparture:
 			// Coalesce the run of departures sharing this timestamp into
 			// one batched removal: the manager reinflates each affected
@@ -266,44 +301,64 @@ func (e *Engine) closeVM(vt *vmTracking, at float64) {
 	e.lostTotal += vt.lost
 }
 
-// handleArrival admits one VM, scheduling its departure only if the
-// placement succeeds (rejected VMs leave no residue in the queue).
-func (e *Engine) handleArrival(ev simEvent) {
-	cfg, vm := e.cfg, ev.vm
-	deflatable := vm.Class == trace.Interactive
-	prio := policy.PriorityFromP95(vm.P95(), cfg.PriorityLevels)
-	dc := hypervisor.DomainConfig{
-		Name:       vm.ID,
-		Size:       vmSize(vm),
-		Deflatable: deflatable,
-		Priority:   prio,
-	}
-	if !deflatable {
-		dc.Priority = 0
-	}
-
-	// Count reclamation attempts: would this placement need deflation?
-	// The capacity index answers in O(log servers) instead of a scan.
-	if !e.mgr.FitsWithoutDeflation(dc.Size) {
-		e.res.ReclamationAttempts++
-	}
-
-	d, _, err := e.mgr.PlaceVM(dc)
-	if err != nil {
-		e.res.Rejected++
-		return
-	}
-	e.res.Admitted++
-	vt := &vmTracking{rec: vm, domain: d, lastT: ev.at, prio: prio}
-	if deflatable {
-		e.res.DeflatableAdmitted++
-		vt.meters = make([]pricing.Meter, len(cfg.PricingSchemes))
-		for i, s := range cfg.PricingSchemes {
-			vt.meters[i].Observe(ev.at/3600, s.Rate(dc.Size, prio, d.Allocation()))
+// handleArrivals admits one same-timestamp batch of VMs through the
+// manager's batch placement (propose in parallel across placement
+// partitions, commit serially in trace order — identical to placing
+// them one at a time), scheduling departures only for placements that
+// succeed (rejected VMs leave no residue in the queue). Admission-time
+// billing reads Placement.Initial — the allocation the VM launched
+// with, before any later commit of the same batch deflated it — which
+// is exactly what the one-at-a-time engine observed.
+func (e *Engine) handleArrivals(evs []simEvent) {
+	cfg := e.cfg
+	dcs := e.dcBuf[:0]
+	prios := e.prioBuf[:0]
+	for _, ev := range evs {
+		vm := ev.vm
+		deflatable := vm.Class == trace.Interactive
+		prio := policy.PriorityFromP95(vm.P95(), cfg.PriorityLevels)
+		dc := hypervisor.DomainConfig{
+			Name:       vm.ID,
+			Size:       vmSize(vm),
+			Deflatable: deflatable,
+			Priority:   prio,
 		}
+		if !deflatable {
+			dc.Priority = 0
+		}
+		dcs = append(dcs, dc)
+		prios = append(prios, prio)
 	}
-	e.addRunning(vm.ID, vt)
-	e.queue.push(simEvent{at: vm.End, kind: evDeparture, vm: vm, seq: ev.seq})
+	e.dcBuf, e.prioBuf = dcs, prios
+
+	e.plBuf = e.mgr.PlaceVMs(dcs, e.plBuf[:0])
+	placements := e.plBuf
+	for i, ev := range evs {
+		e.res.Arrivals++
+		pl := placements[i]
+		// Count reclamation attempts: did this placement need deflation?
+		// The batch evaluates the check against the same state the
+		// placement decision saw.
+		if pl.NeedsReclaim {
+			e.res.ReclamationAttempts++
+		}
+		if pl.Err != nil {
+			e.res.Rejected++
+			continue
+		}
+		e.res.Admitted++
+		vm := ev.vm
+		vt := &vmTracking{rec: vm, domain: pl.Domain, lastT: ev.at, prio: prios[i]}
+		if dcs[i].Deflatable {
+			e.res.DeflatableAdmitted++
+			vt.meters = make([]pricing.Meter, len(cfg.PricingSchemes))
+			for j, s := range cfg.PricingSchemes {
+				vt.meters[j].Observe(ev.at/3600, s.Rate(dcs[i].Size, prios[i], pl.Initial))
+			}
+		}
+		e.addRunning(vm.ID, vt)
+		e.queue.push(simEvent{at: vm.End, kind: evDeparture, vm: vm, seq: ev.seq})
+	}
 }
 
 // sampleVM accumulates demand/loss and refreshes allocation-based

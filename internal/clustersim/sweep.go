@@ -112,6 +112,11 @@ type Options struct {
 	// against wall clock; leave it 0 (sequential runs) unless the grid
 	// has fewer points than cores.
 	Shards int
+	// PlacementPartitions is passed through to every run's
+	// Config.PlacementPartitions: the arrival-placement propose/commit
+	// parallelism. Results are partition-count-invariant; like Shards,
+	// leave it 0 unless the grid has fewer points than cores.
+	PlacementPartitions int
 }
 
 func (o Options) workers(jobs int) int {
@@ -199,6 +204,7 @@ func SweepGrid(tr *trace.AzureTrace, strategies []string, overcommitPcts []float
 		cfg := strategyConfig(tr, strategy, baseline, pct/100)
 		cfg.Notify = opts.Notify
 		cfg.Shards = opts.Shards
+		cfg.PlacementPartitions = opts.PlacementPartitions
 		res, err := Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("clustersim: %s @ %g%% OC: %w", strategy, pct, err)
@@ -285,6 +291,7 @@ func ReplicatedSweep(gen func(seed int64) *trace.AzureTrace, seeds []int64, stra
 		cfg := strategyConfig(traces[r], strategy, baselines[r], pct/100)
 		cfg.Notify = opts.Notify
 		cfg.Shards = opts.Shards
+		cfg.PlacementPartitions = opts.PlacementPartitions
 		res, err := Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("clustersim: seed %d %s @ %g%% OC: %w", seeds[r], strategy, pct, err)

@@ -45,6 +45,33 @@ func ParseScenario(s string) (Scenario, error) {
 	return "", fmt.Errorf("trace: unknown scenario %q (want azure, diurnal, bursty or heavytail)", s)
 }
 
+// GenerateNamed parses a scenario name and generates its trace in one
+// step — the name → generator lookup shared by the simulation CLIs
+// (deflationsim, benchreport), which used to duplicate it.
+func GenerateNamed(name string, numVMs int, duration float64, seed int64) (*AzureTrace, error) {
+	kind, err := ParseScenario(name)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateScenario(ScenarioConfig{Kind: kind, NumVMs: numVMs, Duration: duration, Seed: seed})
+}
+
+// ScenarioGenerator validates a scenario name once and returns the pure
+// seed → trace generator replicated sweeps fan out over (each worker
+// synthesises its own independently seeded replicate).
+func ScenarioGenerator(name string, numVMs int, duration float64) (func(seed int64) *AzureTrace, error) {
+	kind, err := ParseScenario(name)
+	if err != nil {
+		return nil, err
+	}
+	return func(seed int64) *AzureTrace {
+		// The kind is pre-validated and GenerateScenario has no other
+		// error path, so the error is statically nil here.
+		tr, _ := GenerateScenario(ScenarioConfig{Kind: kind, NumVMs: numVMs, Duration: duration, Seed: seed})
+		return tr
+	}, nil
+}
+
 // ScenarioConfig parameterises GenerateScenario. Generation is a pure
 // function of the config: the same config always yields the same trace,
 // which is what lets sweep workers generate traces concurrently and
