@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench ci
+.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench-revocation bench ci
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Focused race shard over the partitioned propose/commit placement path:
-# the phase workers, batch commits, parallel dirty sync and the engines
+# Focused race shard over the partitioned propose/commit placement path
+# and the revocation churn suite: the phase workers, batch commits,
+# parallel dirty sync, capacity-shock evacuations and the engines
 # driving them — a fast, explicit signal beside the full `race` run.
 race-placement:
-	$(GO) test -race -run 'Partition|PlaceVMs|Propose|Sharded|Preemption' ./internal/cluster ./internal/clustersim
+	$(GO) test -race -run 'Partition|PlaceVMs|Propose|Sharded|Preemption|Revo|Shock|Resize' ./internal/cluster ./internal/clustersim
 
 # One iteration of the 10k-VM sweep benchmarks: proves the parallel
 # engine end-to-end without the cost of a full benchmark session.
@@ -54,8 +55,14 @@ bench-scale:
 bench-scale-1m:
 	$(GO) run ./cmd/benchreport -scale 1000000 -scaleout BENCH_scale_1m.json
 
+# Revocation-churn smoke: the 50k-VM run under Poisson server
+# revocations (2/server/day), measuring deflation-first evacuation
+# throughput (evacuations/sec in BENCH_revocation.json).
+bench-revocation:
+	$(GO) run ./cmd/benchreport -scale 50000 -shocks poisson -scaleout BENCH_revocation.json
+
 # The full reproduction benchmark suite (all figures).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-ci: build vet race bench-smoke bench-allocs bench-scale
+ci: build vet race bench-smoke bench-allocs bench-scale bench-revocation

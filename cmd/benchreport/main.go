@@ -12,6 +12,10 @@
 //	benchreport -scale 1000000               # the 1M-VM point (sharded + partitioned)
 //	benchreport -scale 100000 -shards 1 -partitions 1   # force a sequential run
 //	benchreport -scale 50000 -scenario bursty           # a different workload shape
+//	benchreport -scale 50000 -shocks poisson -scaleout BENCH_revocation.json
+//	                                # revocation churn: transient servers revoked and
+//	                                # restored mid-run, VMs evacuated by deflation
+//	                                # (the `make bench-revocation` artifact)
 //
 // The -scale mode runs one deflation-mode simulation at the given VM
 // count through the capacity-indexed manager — with the sample/
@@ -36,10 +40,12 @@ import (
 	"vmdeflate/internal/trace"
 )
 
-// scaleReport is the BENCH_scale.json schema.
+// scaleReport is the BENCH_scale.json / BENCH_revocation.json schema.
+// The shock fields are zero when the run has no shock schedule.
 type scaleReport struct {
 	VMs          int     `json:"vms"`
 	Scenario     string  `json:"scenario"`
+	Shocks       string  `json:"shocks,omitempty"`
 	Servers      int     `json:"servers"`
 	Overcommit   float64 `json:"overcommit"`
 	Shards       int     `json:"shards"`
@@ -49,6 +55,10 @@ type scaleReport struct {
 	Admitted     int     `json:"admitted"`
 	Rejected     int     `json:"rejected"`
 	ArrivalsPerS float64 `json:"arrivals_per_sec"`
+	Revocations  int     `json:"revocations,omitempty"`
+	Evacuations  int     `json:"evacuations,omitempty"`
+	ShockKills   int     `json:"shock_kills,omitempty"`
+	EvacPerS     float64 `json:"evacuations_per_sec,omitempty"`
 }
 
 // runScale executes the cloud-scale single-run smoke: one trace of n
@@ -58,15 +68,15 @@ type scaleReport struct {
 // across `partitions` placement partitions (0 = all cores; the Result
 // is identical at any shard and partition count), report written as
 // JSON.
-func runScale(n, shards, partitions int, scenario string, seed int64, outPath string) {
+func runScale(n, shards, partitions int, scenario, shocks string, seed int64, outPath string) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	if partitions <= 0 {
 		partitions = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("== scale smoke: %d-VM single deflation run (%d shards, %d placement partitions)\n",
-		n, shards, partitions)
+	fmt.Printf("== scale smoke: %d-VM single deflation run (%d shards, %d placement partitions, shocks: %s)\n",
+		n, shards, partitions, shocks)
 	t0 := time.Now()
 	tr, err := trace.GenerateNamed(scenario, n, 3*86400, seed)
 	if err != nil {
@@ -77,11 +87,19 @@ func runScale(n, shards, partitions int, scenario string, seed int64, outPath st
 	if err != nil {
 		log.Fatal(err)
 	}
-	t1 := time.Now()
-	res, err := clustersim.Run(clustersim.Config{
+	cfg := clustersim.Config{
 		Trace: tr, Overcommit: 0.5, BaselineServers: base,
 		Shards: shards, PlacementPartitions: partitions,
-	})
+	}
+	shockKind, err := trace.ParseShockScenario(shocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shockKind != trace.ShockNone {
+		cfg.ShockConfig = &trace.ShockConfig{Kind: shockKind, RatePerDay: 2, OutageMean: 2 * 3600, Seed: seed}
+	}
+	t1 := time.Now()
+	res, err := clustersim.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,6 +116,13 @@ func runScale(n, shards, partitions int, scenario string, seed int64, outPath st
 		Admitted:     res.Admitted,
 		Rejected:     res.Rejected,
 		ArrivalsPerS: float64(res.Arrivals) / wall.Seconds(),
+	}
+	if shockKind != trace.ShockNone {
+		rep.Shocks = shocks
+		rep.Revocations = res.Revocations
+		rep.Evacuations = res.Evacuations
+		rep.ShockKills = res.ShockKills
+		rep.EvacPerS = float64(res.Evacuations) / wall.Seconds()
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -123,10 +148,11 @@ func main() {
 	shards := flag.Int("shards", 0, "intra-run shard count for -scale (0 = all cores, 1 = sequential)")
 	partitions := flag.Int("partitions", 0, "placement partitions for -scale (0 = all cores, 1 = sequential)")
 	scenario := flag.String("scenario", "heavytail", "scenario for -scale: azure, diurnal, bursty or heavytail")
+	shocks := flag.String("shocks", "none", "capacity-shock scenario for -scale: none, poisson, diurnal or rack")
 	flag.Parse()
 
 	if *scale > 0 {
-		runScale(*scale, *shards, *partitions, *scenario, *seed, *scaleOut)
+		runScale(*scale, *shards, *partitions, *scenario, *shocks, *seed, *scaleOut)
 		return
 	}
 

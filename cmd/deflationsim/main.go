@@ -12,6 +12,10 @@
 //	deflationsim -scenario bursty -replicates 5        # mean over 5 seeded traces
 //	deflationsim -workers 1                            # force sequential
 //	deflationsim -azure azure.csv
+//	deflationsim -shocks poisson -shockrate 1          # transient servers:
+//	                                # Poisson revocations at 1/server/day, with
+//	                                # deflation-first evacuation vs preemption kills
+//	deflationsim -shocks rack -racksize 8              # correlated rack shocks
 //	deflationsim -vms 100000 -cpuprofile cpu.pprof     # diagnose scale regressions
 //	deflationsim -vms 1000000 -shards 0 -partitions 0 -oc 50 -strategies proportional
 //	                                # one giant run: sample/reinflation shards and
@@ -48,6 +52,11 @@ func main() {
 	ocList := flag.String("oc", "0,10,20,30,40,50,60,70", "overcommitment percentages")
 	strategies := flag.String("strategies", strings.Join(clustersim.Strategies, ","),
 		"comma-separated strategies")
+	shocks := flag.String("shocks", "none", "capacity-shock scenario: none, poisson, diurnal or rack")
+	shockRate := flag.Float64("shockrate", 0.5, "expected revocations per server per day")
+	outage := flag.Float64("outage", 7200, "mean revocation outage (seconds)")
+	rackSize := flag.Int("racksize", 8, "correlated group size for -shocks rack")
+	shockSeed := flag.Int64("shockseed", 1, "shock-schedule seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	flag.Parse()
@@ -86,6 +95,19 @@ func main() {
 		*partitions = runtime.GOMAXPROCS(0)
 	}
 	opts := clustersim.Options{Workers: *workers, Shards: *shards, PlacementPartitions: *partitions}
+	shocked := false
+	if kind, err := trace.ParseShockScenario(*shocks); err != nil {
+		log.Fatal(err)
+	} else if kind != trace.ShockNone {
+		shocked = true
+		opts.ShockConfig = &trace.ShockConfig{
+			Kind:       kind,
+			RatePerDay: *shockRate,
+			OutageMean: *outage,
+			RackSize:   *rackSize,
+			Seed:       *shockSeed,
+		}
+	}
 
 	var results []*clustersim.SweepResult
 	switch {
@@ -127,15 +149,23 @@ func main() {
 
 	for _, sr := range results {
 		fmt.Printf("== strategy: %s\n", sr.Strategy)
-		fmt.Printf("%8s %12s %12s %12s %12s %12s\n",
+		fmt.Printf("%8s %12s %12s %12s %12s %12s",
 			"oc%", "failure", "tput-loss%", "rev-static%", "rev-prio%", "rev-alloc%")
+		if shocked {
+			fmt.Printf(" %8s %8s %8s", "revoc", "evac", "kills")
+		}
+		fmt.Println()
 		incS := clustersim.RevenueIncrease(sr, "static")
 		incP := clustersim.RevenueIncrease(sr, "priority")
 		incA := clustersim.RevenueIncrease(sr, "allocation")
 		for i, p := range sr.Points {
-			fmt.Printf("%8.0f %12.4f %12.2f %12.1f %12.1f %12.1f\n",
+			fmt.Printf("%8.0f %12.4f %12.2f %12.1f %12.1f %12.1f",
 				p.OvercommitPct, p.FailureProbability, p.ThroughputLossPct,
 				at(incS, i), at(incP, i), at(incA, i))
+			if shocked {
+				fmt.Printf(" %8d %8d %8d", p.Revocations, p.Evacuations, p.ShockKills)
+			}
+			fmt.Println()
 		}
 		fmt.Println()
 	}

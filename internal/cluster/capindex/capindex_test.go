@@ -224,3 +224,59 @@ func TestDirtySet(t *testing.T) {
 		t.Fatal("drain should empty the set")
 	}
 }
+
+// structEqual compares two treaps node by node — shape included.
+func structEqual(a, b *node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.key == b.key && a.name == b.name && a.prio == b.prio &&
+		structEqual(a.left, b.left) && structEqual(a.right, b.right)
+}
+
+// TestDeleteReinsertMatchesRebuilt is the canonical-shape property the
+// revocation path leans on: because heap priorities derive from names
+// and the BST order is (key, name), the treap's SHAPE — not just its
+// in-order contents — is a pure function of the entry set. Any
+// delete/reinsert history (a server revoked and restored arbitrarily
+// many times) must therefore leave the index structurally identical to
+// one rebuilt from scratch, so iteration cost and visit order can never
+// drift with churn.
+func TestDeleteReinsertMatchesRebuilt(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ix := New()
+	model := refModel{}
+	for op := 0; op < 3000; op++ {
+		name := fmt.Sprintf("node-%03d", rng.Intn(120))
+		switch rng.Intn(5) {
+		case 0, 1: // delete (revocation)
+			ix.Delete(name)
+			delete(model, name)
+		default: // upsert (restore / key move), with key collisions
+			key := float64(rng.Intn(40)) / 40
+			ix.Upsert(name, key)
+			model[name] = key
+		}
+		if op%97 != 0 {
+			continue
+		}
+		rebuilt := New()
+		// Insert in sorted order — any order must yield the same tree.
+		for _, e := range model.sorted() {
+			rebuilt.Upsert(e.name, e.key)
+		}
+		if !structEqual(ix.root, rebuilt.root) {
+			t.Fatalf("op %d: churned treap shape diverged from rebuilt-from-scratch", op)
+		}
+	}
+	// And once more with a reversed insertion order, to pin that the
+	// shape is insertion-order independent.
+	entries := model.sorted()
+	rev := New()
+	for i := len(entries) - 1; i >= 0; i-- {
+		rev.Upsert(entries[i].name, entries[i].key)
+	}
+	if !structEqual(ix.root, rev.root) {
+		t.Fatal("reverse-order rebuild diverged: treap shape depends on insertion order")
+	}
+}

@@ -154,6 +154,12 @@ type Server struct {
 	// tie-break for equal-fitness candidates, stable across placement
 	// partition counts. Zero for standalone servers.
 	gidx int
+	// revoked marks a server the provider took away (RevokeServers): it
+	// stays registered — keeping gidx and partition membership stable —
+	// but leaves the capacity indexes and is skipped by every candidate
+	// scan until RestoreServer clears the flag. Guarded by the Manager's
+	// lock like the cached fields below.
+	revoked bool
 
 	// Cached placement state, refreshed by the owning Manager's dirty
 	// sync (syncDirtyLocked) and read only under the Manager's lock.
@@ -216,6 +222,14 @@ type Manager struct {
 	// callers race against PlaceVM.
 	deflationEvents int
 	rejections      int
+
+	// Capacity-shock state (revoke.go): how many servers are currently
+	// revoked, whether the placement engine is running a relocation
+	// batch (whose failures must not count as admission rejections), and
+	// the reusable displaced-VM batch buffer.
+	revokedCount int
+	evacuating   bool
+	evacDCs      []hypervisor.DomainConfig
 
 	// cands is the reusable under-pressure candidate buffer; affected
 	// and reinflateErrs are the RemoveVMs batch buffers. All are used
@@ -544,7 +558,7 @@ func (m *Manager) surplusCandidateLocked(pool int, size resources.Vector) *Serve
 		var best *Server
 		bestKey := 0.0
 		for _, s := range m.servers {
-			if pool >= 0 && s.Partition != pool {
+			if s.revoked || (pool >= 0 && s.Partition != pool) {
 				continue
 			}
 			total := s.Host.Capacity()
@@ -587,6 +601,9 @@ func (m *Manager) surplusCandidateLocked(pool int, size resources.Vector) *Serve
 func (m *Manager) anyFitsLocked(size resources.Vector) bool {
 	if m.cfg.ReferencePlacement {
 		for _, s := range m.servers {
+			if s.revoked {
+				continue
+			}
 			if size.FitsIn(s.Host.Capacity().Sub(s.Host.Aggregates().Allocated)) {
 				return true
 			}
@@ -890,7 +907,10 @@ func reinflate(s *Server, cfg Config, events *[]notify.Event) error {
 
 // Stats summarises the cluster's resource state.
 type Stats struct {
-	Servers   int
+	Servers int
+	// Revoked counts registered servers currently out of service;
+	// Capacity covers only the in-service remainder.
+	Revoked   int
 	VMs       int
 	Capacity  resources.Vector
 	Committed resources.Vector
@@ -912,6 +932,7 @@ func (m *Manager) Stats() Stats {
 	m.syncDirtyLocked()
 	st := Stats{
 		Servers:   len(m.servers),
+		Revoked:   m.revokedCount,
 		VMs:       len(m.placements),
 		Capacity:  m.totCapacity,
 		Committed: m.totCommitted,

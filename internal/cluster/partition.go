@@ -251,7 +251,14 @@ func (p *placePartition) refresh(m *Manager) {
 		s.free = total.Sub(agg.Allocated)
 		s.freeShare = s.free.DominantShare(total)
 		s.avail = availabilityFrom(total, agg)
-		p.indexes[s.Partition].Upsert(name, s.freeShare)
+		if s.revoked {
+			// A revoked server stays out of the index no matter who
+			// marked it dirty; its cached state is still refreshed so
+			// the delta fold keeps the cluster totals exact.
+			p.indexes[s.Partition].Delete(name)
+		} else {
+			p.indexes[s.Partition].Upsert(name, s.freeShare)
+		}
 	}
 }
 
@@ -337,7 +344,7 @@ func (p *placePartition) proposePressure(m *Manager) {
 		start := int32(len(p.pcands))
 		bestAt := int32(-1)
 		for _, s := range p.servers {
-			if pool >= 0 && s.Partition != pool {
+			if s.revoked || (pool >= 0 && s.Partition != pool) {
 				continue
 			}
 			c := cand{s, Fitness(size, s.avail), s.gidx}
@@ -409,7 +416,9 @@ func (m *Manager) placeSequentialLocked(dc hypervisor.DomainConfig) Placement {
 		out.Initial = d.Allocation()
 		return out
 	}
-	m.rejections++
+	if !m.evacuating { // relocation failures are not admission rejections
+		m.rejections++
+	}
 	out.Err = errNoCapacity(dc)
 	return out
 }
@@ -425,7 +434,7 @@ func (m *Manager) pressureLiveLocked(dc hypervisor.DomainConfig, best *Server) (
 	pool := m.PartitionOf(dc)
 	cands := m.cands[:0]
 	for _, s := range m.servers {
-		if pool >= 0 && s.Partition != pool {
+		if s.revoked || (pool >= 0 && s.Partition != pool) {
 			continue
 		}
 		avail := s.avail
@@ -561,7 +570,9 @@ func (m *Manager) commitOneLocked(i int, dc hypervisor.DomainConfig) Placement {
 		out.Initial = d.Allocation()
 		return out
 	}
-	m.rejections++
+	if !m.evacuating { // relocation failures are not admission rejections
+		m.rejections++
+	}
 	out.Err = errNoCapacity(dc)
 	return out
 }

@@ -163,6 +163,25 @@ type Config struct {
 	// identical at any partition count (guarded by the differential
 	// suite). 0 or 1 keeps the sequential placement engine.
 	PlacementPartitions int
+	// Shocks is an explicit capacity-shock schedule: revocations,
+	// restorations and resizes of specific servers by provisioning
+	// index. Shocks addressing servers beyond the run's provisioned
+	// count are ignored, so one schedule can be replayed against
+	// clusters of different sizes. In deflation mode a revoked or shrunk
+	// server's VMs are deflation-first evacuated through the batch
+	// placement engine; in preemption mode they die — today's transient
+	// servers.
+	Shocks []trace.CapacityShock
+	// ShockConfig, when set and Shocks is nil, generates the schedule
+	// for the run's own server count (trace.GenerateShocks) — the form
+	// sweeps use, since every grid point provisions a different cluster
+	// size. A zero Duration defaults to the trace horizon.
+	ShockConfig *trace.ShockConfig
+	// EvacuationDowntime is the modelled downtime in seconds charged to
+	// each successfully evacuated VM (Result.DisplacedDowntime). It is
+	// accounting only — it does not feed back into placement — and
+	// defaults to 30 s.
+	EvacuationDowntime float64
 }
 
 // DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB RAM.
@@ -196,6 +215,9 @@ func (c *Config) applyDefaults() error {
 	if c.Overcommit < 0 {
 		return fmt.Errorf("clustersim: negative overcommit")
 	}
+	if c.EvacuationDowntime <= 0 {
+		c.EvacuationDowntime = 30
+	}
 	return nil
 }
 
@@ -227,6 +249,29 @@ type Result struct {
 	// Revenue maps pricing-scheme name to total revenue from deflatable
 	// VMs (on-demand-core-hours).
 	Revenue map[string]float64
+
+	// Capacity-shock outcomes. Revocations/Restorations/Resizes count
+	// processed shock events; Evacuations counts displaced VMs
+	// successfully relocated (deflation mode only); ShockKills counts
+	// displaced VMs that died — relocation failed (deflation) or the
+	// server was simply taken away (preemption). DisplacedDowntime is
+	// the summed modelled downtime (seconds) across evacuated VMs.
+	Revocations       int
+	Restorations      int
+	Resizes           int
+	Evacuations       int
+	ShockKills        int
+	DisplacedDowntime float64
+
+	// Pricing accounting (deflation mode). OnDemandRevenue is what the
+	// run's deflatable VMs would have billed as on-demand instances
+	// (core-hours at rate 1); CostSavings maps each pricing scheme to
+	// the paper's customer cost-savings fraction,
+	// 1 - Revenue[scheme]/OnDemandRevenue. RevenueByPriority splits the
+	// "priority" scheme's revenue by quantised priority level.
+	OnDemandRevenue   float64
+	CostSavings       map[string]float64
+	RevenueByPriority map[int]float64
 }
 
 // BaselineServerCount returns the paper's "minimum cluster size capable

@@ -24,7 +24,7 @@ type vmTracking struct {
 	// now it is a single slice allocation, and the per-sample walk is an
 	// index loop instead of a map range.
 	meters []pricing.Meter
-	lastT  float64
+	admitT float64 // admission time, for the on-demand-equivalent bill
 	demand float64 // integrated demand (core-seconds)
 	lost   float64 // integrated demand above allocation
 	prio   float64
@@ -52,6 +52,12 @@ type Engine struct {
 	runList []*vmTracking // the running set as a slice, for sharded sampling
 	res     *Result
 	horizon float64
+
+	// Capacity-shock state: the provisioned servers' names (shock
+	// events address servers by index) and which of them are currently
+	// revoked.
+	serverNames []string
+	revoked     []bool
 
 	demandTotal float64
 	lostTotal   float64
@@ -127,19 +133,23 @@ func (e *Engine) runDeflation() (*Result, error) {
 	e.mgr = cluster.NewManager(mgrCfg)
 	defer e.mgr.Close() // stop the partition phase workers with the run
 	partitions := partitionPlan(cfg, e.nServers)
+	e.serverNames = make([]string, e.nServers)
+	e.revoked = make([]bool, e.nServers)
 	for i := 0; i < e.nServers; i++ {
-		if _, err := e.mgr.AddServer(fmt.Sprintf("node-%03d", i), cfg.ServerCapacity, partitions[i]); err != nil {
+		e.serverNames[i] = fmt.Sprintf("node-%03d", i)
+		if _, err := e.mgr.AddServer(e.serverNames[i], cfg.ServerCapacity, partitions[i]); err != nil {
 			return nil, err
 		}
 	}
 
-	e.res = &Result{Servers: e.nServers, Revenue: map[string]float64{}}
+	e.res = &Result{Servers: e.nServers, Revenue: map[string]float64{}, RevenueByPriority: map[int]float64{}}
 	e.running = map[string]*vmTracking{}
 	e.queue = newArrivalQueue(cfg.Trace)
 	e.horizon = cfg.Trace.Duration()
 	if trace.SampleInterval <= e.horizon {
 		e.queue.push(simEvent{at: trace.SampleInterval, kind: evSample})
 	}
+	e.pushShocks(e.queue)
 
 	// Reusable scratch for departure batching, so the hot loop does not
 	// allocate per event.
@@ -186,6 +196,57 @@ func (e *Engine) runDeflation() (*Result, error) {
 				}
 			}
 			e.handleArrivals(batch)
+		case evRevoke:
+			// Coalesce the run of revocations sharing this timestamp —
+			// a rack-sized correlated shock — into ONE multi-server
+			// revocation, so every displaced VM across the whole shock
+			// relocates through a single batch of the propose/commit
+			// engine, in (server order, VM name) evacuation order.
+			batch = batch[:0]
+			batch = append(batch, ev)
+			for !e.queue.empty() {
+				next := e.queue.peek()
+				if next.at != ev.at || next.kind != evRevoke {
+					break
+				}
+				batch = append(batch, e.queue.pop())
+			}
+			names = names[:0]
+			for _, rev := range batch {
+				i := rev.shock.Server
+				if e.revoked[i] {
+					continue // generator guards double revokes; stay safe
+				}
+				e.revoked[i] = true
+				names = append(names, e.serverNames[i])
+			}
+			if len(names) > 0 {
+				e.res.Revocations += len(names)
+				out, err := e.mgr.RevokeServers(names...)
+				if err != nil {
+					return nil, err
+				}
+				e.applyEvacuation(out, ev.at)
+			}
+		case evRestore:
+			i := ev.shock.Server
+			if e.revoked[i] {
+				e.revoked[i] = false
+				if err := e.mgr.RestoreServer(e.serverNames[i]); err != nil {
+					return nil, err
+				}
+				e.res.Restorations++
+			}
+		case evResize:
+			i := ev.shock.Server
+			if !e.revoked[i] {
+				out, err := e.mgr.ResizeServer(e.serverNames[i], cfg.ServerCapacity.Scale(ev.shock.Scale))
+				if err != nil {
+					return nil, err
+				}
+				e.res.Resizes++
+				e.applyEvacuation(out, ev.at)
+			}
 		case evDeparture:
 			// Coalesce the run of departures sharing this timestamp into
 			// one batched removal: the manager reinflates each affected
@@ -242,7 +303,97 @@ func (e *Engine) runDeflation() (*Result, error) {
 	if e.demandTotal > 0 {
 		e.res.ThroughputLoss = e.lostTotal / e.demandTotal
 	}
+	if e.res.OnDemandRevenue > 0 {
+		e.res.CostSavings = make(map[string]float64, len(cfg.PricingSchemes))
+		for _, s := range cfg.PricingSchemes {
+			e.res.CostSavings[s.Name()] = 1 - e.res.Revenue[s.Name()]/e.res.OnDemandRevenue
+		}
+	}
 	return e.res, nil
+}
+
+// pushShocks schedules the run's capacity-shock events: the explicit
+// Config.Shocks list when given, otherwise a schedule generated for
+// this run's own server count from Config.ShockConfig. Shocks
+// addressing servers beyond the provisioned count are dropped, so one
+// schedule replays against any cluster size.
+func (e *Engine) pushShocks(q *eventQueue) {
+	shocks := e.cfg.Shocks
+	if shocks == nil && e.cfg.ShockConfig != nil {
+		sc := *e.cfg.ShockConfig
+		if sc.Duration <= 0 {
+			sc.Duration = e.cfg.Trace.Duration()
+		}
+		shocks = trace.GenerateShocks(sc, e.nServers)
+	}
+	for i := range shocks {
+		sh := &shocks[i]
+		if sh.Server < 0 || sh.Server >= e.nServers {
+			continue
+		}
+		var kind eventKind
+		switch sh.Kind {
+		case trace.ShockRevoke:
+			kind = evRevoke
+		case trace.ShockRestore:
+			kind = evRestore
+		case trace.ShockResize:
+			kind = evResize
+		default:
+			continue
+		}
+		q.push(simEvent{at: sh.At, kind: kind, shock: sh, seq: i})
+	}
+}
+
+// remainingDemand integrates a VM's CPU demand (core-seconds) from
+// time t to its natural end: the demand a kill destroys. Shared by the
+// preemption baseline and the deflation engine's shock kills so both
+// charge a destroyed VM identically.
+func remainingDemand(rec *trace.VMRecord, t float64) float64 {
+	var d float64
+	for ts := t; ts < rec.End; ts += trace.SampleInterval {
+		d += rec.UtilAt(ts) / 100 * float64(rec.Cores) * trace.SampleInterval
+	}
+	return d
+}
+
+// applyEvacuation folds one capacity shock's evacuation outcome into
+// the run state: relocated VMs swap to their new domains (and re-meter
+// allocation-based billing at the relocation allocation), killed VMs
+// are settled and dropped at the shock instant — their already-queued
+// departure events become stale and are skipped by the departure
+// batch's running-set guard. A killed deflatable VM's never-served
+// future demand is charged to both the demand and loss integrals,
+// exactly as the preemption baseline charges its shock kills, so the
+// two modes' ThroughputLoss stays comparable under shocks.
+func (e *Engine) applyEvacuation(out cluster.Evacuation, at float64) {
+	for i := range out.VMs {
+		name := out.VMs[i].Name
+		vt, ok := e.running[name]
+		if !ok {
+			continue
+		}
+		pl := out.Placements[i]
+		if pl.Err != nil {
+			e.res.ShockKills++
+			if out.VMs[i].Deflatable {
+				rem := remainingDemand(vt.rec, at)
+				vt.demand += rem
+				vt.lost += rem
+			}
+			e.closeVM(vt, at)
+			e.dropRunning(name, vt)
+			continue
+		}
+		e.res.Evacuations++
+		e.res.DisplacedDowntime += e.cfg.EvacuationDowntime
+		vt.domain = pl.Domain
+		for j := range vt.meters {
+			s := e.cfg.PricingSchemes[j]
+			vt.meters[j].Observe(at/3600, s.Rate(out.VMs[i].Size, vt.prio, pl.Initial))
+		}
+	}
 }
 
 // samplePass meters every running VM at one 5-minute boundary. Each
@@ -296,7 +447,7 @@ func (e *Engine) dropRunning(id string, vt *vmTracking) {
 // closeVM settles a VM's meters and folds its demand integrals into the
 // run accumulators.
 func (e *Engine) closeVM(vt *vmTracking, at float64) {
-	finishVM(vt, at, e.res, e.cfg.PricingSchemes)
+	finishVM(vt, at, e.res, e.cfg)
 	e.demandTotal += vt.demand
 	e.lostTotal += vt.lost
 }
@@ -348,7 +499,7 @@ func (e *Engine) handleArrivals(evs []simEvent) {
 		}
 		e.res.Admitted++
 		vm := ev.vm
-		vt := &vmTracking{rec: vm, domain: pl.Domain, lastT: ev.at, prio: prios[i]}
+		vt := &vmTracking{rec: vm, domain: pl.Domain, admitT: ev.at, prio: prios[i]}
 		if dcs[i].Deflatable {
 			e.res.DeflatableAdmitted++
 			vt.meters = make([]pricing.Meter, len(cfg.PricingSchemes))
@@ -391,8 +542,34 @@ func sampleVM(vt *vmTracking, at float64, cfg Config) {
 	}
 }
 
-func finishVM(vt *vmTracking, at float64, res *Result, schemes []pricing.Scheme) {
+// finishVM settles a departing (or shock-killed) VM's billing: each
+// scheme's meter closes into Revenue, the "priority" scheme is
+// additionally split by quantised priority level, and the VM's
+// on-demand-equivalent bill (cores × hours at rate 1) accumulates so
+// the run can report the paper's customer cost-savings fraction.
+func finishVM(vt *vmTracking, at float64, res *Result, cfg Config) {
 	for i := range vt.meters {
-		res.Revenue[schemes[i].Name()] += vt.meters[i].Close(at / 3600)
+		name := cfg.PricingSchemes[i].Name()
+		rev := vt.meters[i].Close(at / 3600)
+		res.Revenue[name] += rev
+		if name == "priority" {
+			res.RevenueByPriority[priorityLevel(vt.prio, cfg.PriorityLevels)] += rev
+		}
 	}
+	if vt.meters != nil {
+		res.OnDemandRevenue += float64(vt.rec.Cores) * (at - vt.admitT) / 3600
+	}
+}
+
+// priorityLevel maps a quantised priority pi = (level+1)/n back to its
+// zero-based level index.
+func priorityLevel(prio float64, levels int) int {
+	lvl := int(prio*float64(levels)+0.5) - 1
+	if lvl < 0 {
+		lvl = 0
+	}
+	if lvl >= levels {
+		lvl = levels - 1
+	}
+	return lvl
 }

@@ -9,14 +9,27 @@ import (
 
 // eventKind orders simultaneous events. Samples fire first so metering
 // observes the population as it stood through the preceding interval;
-// departures precede arrivals so freed capacity is visible to newcomers
-// at the same instant (the invariant the old slice-based replay encoded
-// in its sort comparator).
+// departures precede capacity shocks so a VM that leaves at the shock
+// instant is not pointlessly evacuated (and its freed capacity is
+// available to the evacuees); restorations precede revocations so a
+// same-instant restore+revoke pair frees the returning capacity before
+// the evacuation that needs it — and so back-to-back outages of one
+// server (restore and re-revoke at the same instant, which the
+// generators' admission sweep can legally produce) replay as two
+// outages instead of silently dropping the second; resizes follow
+// revocations so their displaced VMs never land on a server revoked at
+// the same instant; and every shock precedes the arrivals so newcomers
+// only ever see post-shock capacity (the invariant the old slice-based
+// replay encoded in its sort comparator, extended to the
+// transient-server events).
 type eventKind int
 
 const (
 	evSample eventKind = iota
 	evDeparture
+	evRestore
+	evRevoke
+	evResize
 	evArrival
 )
 
@@ -27,6 +40,12 @@ func (k eventKind) String() string {
 		return "sample"
 	case evDeparture:
 		return "departure"
+	case evRevoke:
+		return "revoke"
+	case evRestore:
+		return "restore"
+	case evResize:
+		return "resize"
 	case evArrival:
 		return "arrival"
 	default:
@@ -34,16 +53,21 @@ func (k eventKind) String() string {
 	}
 }
 
-// simEvent is one scheduled simulation event. vm is nil for samples.
+// simEvent is one scheduled simulation event. vm is nil for samples and
+// capacity shocks; shock is nil for everything else.
 type simEvent struct {
 	at   float64
 	kind eventKind
 	vm   *trace.VMRecord
+	// shock carries the capacity-shock payload of
+	// evRevoke/evRestore/evResize events.
+	shock *trace.CapacityShock
 	// seq breaks ties among equal (at, kind) pairs. Arrival and
-	// departure events carry the VM's trace index so simultaneous events
-	// replay in trace order — the same total order the previous
-	// implementation obtained from a stable sort over the trace slice,
-	// which keeps refactored runs bit-for-bit comparable.
+	// departure events carry the VM's trace index, shock events their
+	// schedule index, so simultaneous events replay in trace order — the
+	// same total order the previous implementation obtained from a
+	// stable sort over the trace slice, which keeps refactored runs
+	// bit-for-bit comparable.
 	seq int
 }
 

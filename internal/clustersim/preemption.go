@@ -24,15 +24,25 @@ type pVM struct {
 // Figure 20 baseline metric is the probability that an admitted
 // low-priority VM is preempted before its natural departure.
 //
+// Capacity shocks are where the baseline diverges hardest from
+// deflation: a revoked server kills every resident outright (there is
+// no migration on today's transient servers), and a shrink kills
+// lowest-priority residents until the rest fits. The same shock
+// schedule drives both modes, which is what makes the
+// deflation-saves-the-shock-victims comparison an apples-to-apples one.
+//
 // The baseline drives the same lazily scheduled event queue as the
 // deflation engine: departures enter the queue only for admitted VMs,
-// and a preempted VM's stale departure event is ignored because the VM
-// is no longer in the running set.
+// and a preempted or shock-killed VM's stale departure event is ignored
+// because the VM is no longer in the running set.
 func (e *Engine) runPreemption() (*Result, error) {
 	cfg := e.cfg
 	free := make([]resources.Vector, e.nServers)
+	curCap := make([]resources.Vector, e.nServers)
+	revoked := make([]bool, e.nServers)
 	for i := range free {
 		free[i] = cfg.ServerCapacity
+		curCap[i] = cfg.ServerCapacity
 	}
 	running := map[string]*pVM{}
 	res := &Result{Servers: e.nServers, Revenue: map[string]float64{}}
@@ -48,16 +58,6 @@ func (e *Engine) runPreemption() (*Result, error) {
 		vm.server = best
 		free[best] = free[best].Sub(vm.size)
 		return true
-	}
-
-	// remainingDemand integrates a VM's CPU demand (core-seconds) from
-	// time t to its natural end: the demand a preemption destroys.
-	remainingDemand := func(rec *trace.VMRecord, t float64) float64 {
-		var d float64
-		for ts := t; ts < rec.End; ts += trace.SampleInterval {
-			d += rec.UtilAt(ts) / 100 * float64(rec.Cores) * trace.SampleInterval
-		}
-		return d
 	}
 
 	evict := func(need resources.Vector, server int, now float64) bool {
@@ -85,11 +85,46 @@ func (e *Engine) runPreemption() (*Result, error) {
 		return need.FitsIn(free[server])
 	}
 
+	// shockKill removes one VM the provider's capacity shock destroyed:
+	// unlike evict it is not an admission preemption, so it counts in
+	// ShockKills, and only low-priority demand feeds the loss ratio
+	// (the deflation engine charges its shock kills the same remaining
+	// demand, so the cross-engine loss comparison is apples to apples).
+	shockKill := func(vm *pVM, now float64) {
+		free[vm.server] = free[vm.server].Add(vm.size)
+		delete(running, vm.rec.ID)
+		res.ShockKills++
+		if vm.lowPri {
+			lostTotal += remainingDemand(vm.rec, now)
+		}
+	}
+
+	// victimsOn lists server i's residents lowest (priority, ID) first —
+	// the deterministic kill order shocks use.
+	victimsOn := func(i int) []*pVM {
+		var v []*pVM
+		for _, vm := range running {
+			if vm.server == i {
+				v = append(v, vm)
+			}
+		}
+		sort.Slice(v, func(a, b int) bool {
+			if v[a].prio != v[b].prio {
+				return v[a].prio < v[b].prio
+			}
+			return v[a].rec.ID < v[b].rec.ID
+		})
+		return v
+	}
+
 	// bestEvictionServer picks the server where free space plus
 	// evictable low-priority allocation best covers `need`.
 	bestEvictionServer := func(need resources.Vector) int {
 		best, bestFit := -1, -1.0
 		for i := range free {
+			if revoked[i] {
+				continue
+			}
 			avail := free[i]
 			for _, vm := range running {
 				if vm.lowPri && vm.server == i {
@@ -108,15 +143,59 @@ func (e *Engine) runPreemption() (*Result, error) {
 	}
 
 	queue := newArrivalQueue(cfg.Trace)
+	e.pushShocks(queue)
 	for !queue.empty() {
 		ev := queue.pop()
-		if ev.kind == evDeparture {
+		switch ev.kind {
+		case evDeparture:
 			vm, ok := running[ev.vm.ID]
 			if !ok {
-				continue // already preempted
+				continue // already preempted or shock-killed
 			}
 			free[vm.server] = free[vm.server].Add(vm.size)
 			delete(running, ev.vm.ID)
+			continue
+		case evRevoke:
+			// Today's transient server disappearing: every resident
+			// dies. Lowest (priority, ID) first only fixes the float
+			// fold order; everyone goes.
+			i := ev.shock.Server
+			if revoked[i] {
+				continue
+			}
+			revoked[i] = true
+			res.Revocations++
+			for _, vm := range victimsOn(i) {
+				shockKill(vm, ev.at)
+			}
+			free[i] = resources.Vector{} // nothing fits a revoked server
+			continue
+		case evRestore:
+			i := ev.shock.Server
+			if !revoked[i] {
+				continue
+			}
+			revoked[i] = false
+			res.Restorations++
+			free[i] = curCap[i] // the revocation emptied it
+			continue
+		case evResize:
+			// A shrink kills lowest-priority residents until the rest
+			// fits — no deflation exists in this world.
+			i := ev.shock.Server
+			if revoked[i] {
+				continue
+			}
+			newCap := cfg.ServerCapacity.Scale(ev.shock.Scale)
+			free[i] = free[i].Add(newCap.Sub(curCap[i]))
+			curCap[i] = newCap
+			res.Resizes++
+			for _, vm := range victimsOn(i) {
+				if free[i].CheckNonNegative() == nil {
+					break
+				}
+				shockKill(vm, ev.at)
+			}
 			continue
 		}
 		res.Arrivals++

@@ -20,6 +20,12 @@ type SweepPoint struct {
 	ThroughputLossPct  float64
 	Revenue            map[string]float64
 	Servers            int
+	// Capacity-shock outcomes (zero when the sweep runs without a shock
+	// schedule): revocation events processed, displaced VMs relocated,
+	// displaced VMs killed.
+	Revocations int
+	Evacuations int
+	ShockKills  int
 }
 
 // SweepResult holds a full overcommitment sweep for one strategy.
@@ -117,6 +123,11 @@ type Options struct {
 	// parallelism. Results are partition-count-invariant; like Shards,
 	// leave it 0 unless the grid has fewer points than cores.
 	PlacementPartitions int
+	// ShockConfig, when set, is passed through to every run's
+	// Config.ShockConfig: each grid point replays the capacity-shock
+	// schedule generated for its own cluster size, so the deflation
+	// strategies and the preemption baseline face identical transiency.
+	ShockConfig *trace.ShockConfig
 }
 
 func (o Options) workers(jobs int) int {
@@ -162,6 +173,20 @@ func runJobs(n, workers int, job func(i int)) {
 	wg.Wait()
 }
 
+// sweepPoint projects one run's Result onto its grid point.
+func sweepPoint(pct float64, res *Result) SweepPoint {
+	return SweepPoint{
+		OvercommitPct:      pct,
+		FailureProbability: res.FailureProbability,
+		ThroughputLossPct:  res.ThroughputLoss * 100,
+		Revenue:            res.Revenue,
+		Servers:            res.Servers,
+		Revocations:        res.Revocations,
+		Evacuations:        res.Evacuations,
+		ShockKills:         res.ShockKills,
+	}
+}
+
 // firstError returns the lowest-indexed non-nil error, so the reported
 // failure is independent of worker scheduling.
 func firstError(errs []error) error {
@@ -205,18 +230,13 @@ func SweepGrid(tr *trace.AzureTrace, strategies []string, overcommitPcts []float
 		cfg.Notify = opts.Notify
 		cfg.Shards = opts.Shards
 		cfg.PlacementPartitions = opts.PlacementPartitions
+		cfg.ShockConfig = opts.ShockConfig
 		res, err := Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("clustersim: %s @ %g%% OC: %w", strategy, pct, err)
 			return
 		}
-		points[i] = SweepPoint{
-			OvercommitPct:      pct,
-			FailureProbability: res.FailureProbability,
-			ThroughputLossPct:  res.ThroughputLoss * 100,
-			Revenue:            res.Revenue,
-			Servers:            res.Servers,
-		}
+		points[i] = sweepPoint(pct, res)
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err
@@ -292,18 +312,13 @@ func ReplicatedSweep(gen func(seed int64) *trace.AzureTrace, seeds []int64, stra
 		cfg.Notify = opts.Notify
 		cfg.Shards = opts.Shards
 		cfg.PlacementPartitions = opts.PlacementPartitions
+		cfg.ShockConfig = opts.ShockConfig
 		res, err := Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("clustersim: seed %d %s @ %g%% OC: %w", seeds[r], strategy, pct, err)
 			return
 		}
-		points[i] = SweepPoint{
-			OvercommitPct:      pct,
-			FailureProbability: res.FailureProbability,
-			ThroughputLossPct:  res.ThroughputLoss * 100,
-			Revenue:            res.Revenue,
-			Servers:            res.Servers,
-		}
+		points[i] = sweepPoint(pct, res)
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err
@@ -334,17 +349,23 @@ func AverageSweeps(reps [][]*SweepResult) []*SweepResult {
 		avg := &SweepResult{Strategy: first.Strategy, Points: make([]SweepPoint, len(first.Points))}
 		for pi, p := range first.Points {
 			acc := SweepPoint{OvercommitPct: p.OvercommitPct, Revenue: map[string]float64{}}
-			var servers float64
+			var servers, revocations, evacuations, kills float64
 			for _, rep := range reps {
 				q := rep[si].Points[pi]
 				acc.FailureProbability += q.FailureProbability / n
 				acc.ThroughputLossPct += q.ThroughputLossPct / n
 				servers += float64(q.Servers) / n
+				revocations += float64(q.Revocations) / n
+				evacuations += float64(q.Evacuations) / n
+				kills += float64(q.ShockKills) / n
 				for name, v := range q.Revenue {
 					acc.Revenue[name] += v / n
 				}
 			}
 			acc.Servers = int(servers + 0.5)
+			acc.Revocations = int(revocations + 0.5)
+			acc.Evacuations = int(evacuations + 0.5)
+			acc.ShockKills = int(kills + 0.5)
 			avg.Points[pi] = acc
 		}
 		out[si] = avg

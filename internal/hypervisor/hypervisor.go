@@ -152,8 +152,13 @@ type Aggregates struct {
 type Host struct {
 	cfg     HostConfig
 	cgroups *cgroups.Hierarchy
-	mu      sync.Mutex
-	domains map[string]*Domain
+	// capacity is the host's current physical capacity. It starts at
+	// cfg.Capacity and moves only through SetCapacity (the transient
+	// server shrank or was restored); an atomic pointer to an immutable
+	// vector keeps the hot-path Capacity() reads lock-free.
+	capacity atomic.Pointer[resources.Vector]
+	mu       sync.Mutex
+	domains  map[string]*Domain
 	// order holds the domains sorted by name. Keeping it materialised
 	// (rather than sorting in Domains()) makes the aggregate recompute
 	// below iterate in a fixed order, which keeps float summations like
@@ -201,18 +206,47 @@ func NewHost(cfg HostConfig) (*Host, error) {
 	if cfg.Capacity.IsZero() {
 		return nil, fmt.Errorf("%w: host %s has no capacity", ErrInvalid, cfg.Name)
 	}
-	return &Host{
+	h := &Host{
 		cfg:     cfg,
 		cgroups: cgroups.NewHierarchy(),
 		domains: make(map[string]*Domain),
-	}, nil
+	}
+	c := cfg.Capacity
+	h.capacity.Store(&c)
+	return h, nil
 }
 
 // Name returns the host's name.
 func (h *Host) Name() string { return h.cfg.Name }
 
-// Capacity returns the host's physical resources.
-func (h *Host) Capacity() resources.Vector { return h.cfg.Capacity }
+// Capacity returns the host's current physical resources (the base
+// capacity, unless SetCapacity resized the server).
+func (h *Host) Capacity() resources.Vector { return *h.capacity.Load() }
+
+// BaseCapacity returns the capacity the host was provisioned with,
+// independent of any SetCapacity resize since.
+func (h *Host) BaseCapacity() resources.Vector { return h.cfg.Capacity }
+
+// SetCapacity resizes the host's physical capacity in place — the
+// transient-server shrink/restore of a provider reclaiming (or
+// returning) part of the machine. It follows the same dirty-flag
+// discipline as every other mutation: the aggregate cache is
+// invalidated and the registered aggregate-change callback fires, so a
+// cluster manager's capacity index re-keys the server on its next
+// query. The hypervisor itself does not shrink domains; fitting the
+// residents into the new capacity is the cluster layer's job
+// (deflation-first, then evacuation).
+func (h *Host) SetCapacity(v resources.Vector) error {
+	if err := v.CheckNonNegative(); err != nil {
+		return err
+	}
+	if v.IsZero() {
+		return fmt.Errorf("%w: host %s resized to zero capacity", ErrInvalid, h.cfg.Name)
+	}
+	h.capacity.Store(&v)
+	h.invalidateAggregates()
+	return nil
+}
 
 // OnAggregateChange registers fn to be called when a mutation (any
 // define/undefine, lifecycle transition, limit change or hotplug)
@@ -427,13 +461,13 @@ func (h *Host) Allocated() resources.Vector {
 
 // Available returns Capacity - Allocated, clamped at zero.
 func (h *Host) Available() resources.Vector {
-	return h.cfg.Capacity.Sub(h.Allocated()).ClampNonNegative()
+	return h.Capacity().Sub(h.Allocated()).ClampNonNegative()
 }
 
 // Overcommit returns Committed/Capacity - 1 as the dominant-share
 // overcommitment fraction (0 = fully packed, 0.5 = 50% overcommitted).
 func (h *Host) Overcommit() float64 {
-	oc := h.Committed().DominantShare(h.cfg.Capacity)
+	oc := h.Committed().DominantShare(h.Capacity())
 	if oc < 1 {
 		return 0
 	}

@@ -1,0 +1,66 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"vmdeflate/internal/resources"
+)
+
+// TestSetCapacityResize: capacity moves, the base stays, and the
+// mutation follows the dirty-flag discipline (aggregate-change callback
+// fires, derived reads see the new capacity).
+func TestSetCapacityResize(t *testing.T) {
+	h := testHost(t)
+	base := h.Capacity()
+	if h.BaseCapacity() != base {
+		t.Fatalf("BaseCapacity %v != initial Capacity %v", h.BaseCapacity(), base)
+	}
+	defineRunning(t, h, "vm1", 4, 8192)
+
+	fires := 0
+	h.OnAggregateChange(func() { fires++ })
+	h.Aggregates() // clean cache, arm the edge
+
+	shrunk := base.Scale(0.5)
+	if err := h.SetCapacity(shrunk); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatalf("SetCapacity fired %d callbacks, want 1", fires)
+	}
+	if h.Capacity() != shrunk {
+		t.Fatalf("Capacity = %v after shrink, want %v", h.Capacity(), shrunk)
+	}
+	if h.BaseCapacity() != base {
+		t.Fatalf("BaseCapacity changed to %v on resize", h.BaseCapacity())
+	}
+	// Available derives from the new capacity.
+	wantAvail := shrunk.Sub(h.Allocated()).ClampNonNegative()
+	if got := h.Available(); got != wantAvail {
+		t.Fatalf("Available = %v, want %v", got, wantAvail)
+	}
+
+	// Restore to base.
+	if err := h.SetCapacity(base); err != nil {
+		t.Fatal(err)
+	}
+	if h.Capacity() != base {
+		t.Fatalf("Capacity = %v after restore, want %v", h.Capacity(), base)
+	}
+}
+
+// TestSetCapacityValidation rejects degenerate capacities without
+// disturbing the current one.
+func TestSetCapacityValidation(t *testing.T) {
+	h := testHost(t)
+	before := h.Capacity()
+	if err := h.SetCapacity(resources.Vector{}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if err := h.SetCapacity(resources.New(-1, 1024, 0, 0)); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if h.Capacity() != before {
+		t.Fatalf("failed resize moved capacity to %v", h.Capacity())
+	}
+}
