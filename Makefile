@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench-revocation bench ci
+.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench-revocation bench-slo bench ci
 
 build:
 	$(GO) build ./...
@@ -32,17 +32,19 @@ race-placement:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Sweep10k' -benchtime 1x .
 
-# Zero-allocation gate: the steady-state PlaceOn/Reinflate policy pass
-# AND the partitioned batch-propose pass must both report 0 allocs/op,
-# or the build fails. The benchmark output is kept in BENCH_allocs.txt
-# for CI to archive.
+# Zero-allocation gate: the steady-state PlaceOn/Reinflate policy pass,
+# the partitioned batch-propose pass AND the SLO-metered sample pass
+# (closed-form queueing math included) must all report 0 allocs/op, or
+# the build fails. The benchmark output is kept in BENCH_allocs.txt for
+# CI to archive.
 bench-allocs:
 	$(GO) test -run '^$$' -bench 'PolicyPassSteadyState|ProposeSteadyState' -benchmem ./internal/cluster | tee BENCH_allocs.txt
+	$(GO) test -run '^$$' -bench 'SamplePassSLOSteadyState' -benchmem ./internal/clustersim | tee -a BENCH_allocs.txt
 	@awk '/^Benchmark/ { found++; allocs = $$(NF-1) + 0; \
 		if (allocs > 0) { failed = 1; print "FAIL: " $$1 " allocates " allocs " allocs/op (want 0)" } } \
-		END { if (found < 2) { print "FAIL: expected the policy-pass and propose-pass benchmarks, got " found+0; exit 1 } \
+		END { if (found < 3) { print "FAIL: expected the policy-pass, propose-pass and SLO-sample benchmarks, got " found+0; exit 1 } \
 		if (failed) exit 1; \
-		print "OK: steady-state policy + propose passes at 0 allocs/op" }' BENCH_allocs.txt
+		print "OK: steady-state policy + propose + SLO sample passes at 0 allocs/op" }' BENCH_allocs.txt
 
 # Cloud-scale single-run smoke: one 50k-VM deflation run through the
 # capacity-indexed manager (sharded across all cores), reported to
@@ -61,8 +63,17 @@ bench-scale-1m:
 bench-revocation:
 	$(GO) run ./cmd/benchreport -scale 50000 -shocks poisson -scaleout BENCH_revocation.json
 
+# SLO frontier smoke: the 50k-VM bursty run comparing proportional
+# against latency-aware deflation on SLO violations at matched admitted
+# load, across overcommitment points and under revocation shocks
+# (BENCH_slo.json). Fails if latency-aware does not dominate: strictly
+# fewer violation-seconds at every calm overcommitment point, and a
+# majority of points plus the net total under revocation shocks.
+bench-slo:
+	$(GO) run ./cmd/benchreport -slo 50000 -sloout BENCH_slo.json
+
 # The full reproduction benchmark suite (all figures).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-ci: build vet race bench-smoke bench-allocs bench-scale bench-revocation
+ci: build vet race bench-smoke bench-allocs bench-scale bench-revocation bench-slo

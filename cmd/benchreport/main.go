@@ -137,6 +137,143 @@ func runScale(n, shards, partitions int, scenario, shocks string, seed int64, ou
 		n, res.Servers, wall.Round(time.Millisecond), outPath)
 }
 
+// sloFrontierPoint compares proportional and latency-aware deflation at
+// one (overcommitment, shock-regime) grid point of BENCH_slo.json.
+type sloFrontierPoint struct {
+	OvercommitPct  float64 `json:"overcommit_pct"`
+	Shocks         string  `json:"shocks"`
+	Servers        int     `json:"servers"`
+	PropAdmitted   int     `json:"proportional_admitted"`
+	LatAdmitted    int     `json:"latency_admitted"`
+	PropViolSec    float64 `json:"proportional_violation_seconds"`
+	LatViolSec     float64 `json:"latency_violation_seconds"`
+	PropViolRate   float64 `json:"proportional_violation_rate"`
+	LatViolRate    float64 `json:"latency_violation_rate"`
+	PropP99        float64 `json:"proportional_p99_slowdown"`
+	LatP99         float64 `json:"latency_p99_slowdown"`
+	EqualAdmitted  bool    `json:"equal_admitted"`
+	LatDominates   bool    `json:"latency_dominates"`
+	PropEvacuation int     `json:"proportional_evacuations,omitempty"`
+	LatEvacuation  int     `json:"latency_evacuations,omitempty"`
+}
+
+// sloReport is the BENCH_slo.json schema.
+type sloReport struct {
+	VMs             int                `json:"vms"`
+	Scenario        string             `json:"scenario"`
+	MaxSlowdown     float64            `json:"max_slowdown"`
+	WallSeconds     float64            `json:"wall_seconds"`
+	DominatedPoints int                `json:"dominated_points"`
+	TotalPoints     int                `json:"total_points"`
+	ShockNetLatSec  float64            `json:"shock_net_latency_violation_seconds"`
+	ShockNetPropSec float64            `json:"shock_net_proportional_violation_seconds"`
+	Points          []sloFrontierPoint `json:"points"`
+}
+
+// runSLO executes the SLO-frontier smoke: proportional vs latency-aware
+// deflation on one bursty trace, SLO-metered with the closed-form PS
+// model, across overcommitment points both calm and under Poisson
+// revocation shocks. The process exits non-zero unless latency-aware
+// dominates — no fewer admissions and strictly fewer violation-seconds —
+// at every calm grid point, and, under shocks, at a majority of points
+// plus on the summed violation-seconds. (Shock transients are deep-
+// deficit events where every policy is driven near the deflation
+// floors, so individual shocked points carry placement noise; the calm
+// frontier is where the policies actually plan, and is gated strictly.)
+func runSLO(n, shards, partitions int, scenario string, seed int64, outPath string) {
+	fmt.Printf("== SLO frontier smoke: %d-VM %s trace, proportional vs latency-aware\n", n, scenario)
+	t0 := time.Now()
+	tr, err := trace.GenerateNamed(scenario, n, 3*86400, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := clustersim.PeakServerLowerBound(tr, clustersim.DefaultServerCapacity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategies := []string{clustersim.StrategyProportional, clustersim.StrategyLatency}
+	ocs := []float64{30, 50, 60}
+	rep := sloReport{VMs: n, Scenario: scenario, MaxSlowdown: 2}
+	var calmMissed, shockDominated, shockTotal int
+	for _, shocks := range []string{"none", "poisson"} {
+		opts := clustersim.Options{
+			BaselineServers:     base,
+			Shards:              shards,
+			PlacementPartitions: partitions,
+			SLO:                 &clustersim.SLOConfig{MaxSlowdown: rep.MaxSlowdown},
+		}
+		if shocks != "none" {
+			opts.ShockConfig = &trace.ShockConfig{
+				Kind: trace.ShockPoisson, RatePerDay: 1, OutageMean: 2 * 3600, Seed: seed,
+			}
+		}
+		results, err := clustersim.SweepGrid(tr, strategies, ocs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prop, lat := results[0], results[1]
+		for i := range ocs {
+			p, l := prop.Points[i], lat.Points[i]
+			pt := sloFrontierPoint{
+				OvercommitPct:  ocs[i],
+				Shocks:         shocks,
+				Servers:        l.Servers,
+				PropAdmitted:   p.Admitted,
+				LatAdmitted:    l.Admitted,
+				PropViolSec:    p.SLOViolationSeconds,
+				LatViolSec:     l.SLOViolationSeconds,
+				PropViolRate:   p.SLOViolationRate,
+				LatViolRate:    l.SLOViolationRate,
+				PropP99:        p.SLOLatencyP99,
+				LatP99:         l.SLOLatencyP99,
+				EqualAdmitted:  p.Admitted == l.Admitted,
+				LatDominates:   l.Admitted >= p.Admitted && l.SLOViolationSeconds < p.SLOViolationSeconds,
+				PropEvacuation: p.Evacuations,
+				LatEvacuation:  l.Evacuations,
+			}
+			if pt.LatDominates {
+				rep.DominatedPoints++
+			}
+			rep.TotalPoints++
+			if shocks == "none" {
+				if !pt.LatDominates {
+					calmMissed++
+				}
+			} else {
+				shockTotal++
+				if pt.LatDominates {
+					shockDominated++
+				}
+				rep.ShockNetLatSec += pt.LatViolSec
+				rep.ShockNetPropSec += pt.PropViolSec
+			}
+			rep.Points = append(rep.Points, pt)
+			fmt.Printf("oc=%2.0f%% shocks=%-7s admitted %d/%d  viol-sec %.0f/%.0f  p99 %.2f/%.2f  dominates=%v\n",
+				ocs[i], shocks, l.Admitted, p.Admitted, pt.LatViolSec, pt.PropViolSec,
+				pt.LatP99, pt.PropP99, pt.LatDominates)
+		}
+	}
+	rep.WallSeconds = time.Since(t0).Seconds()
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SLO frontier: %d/%d points dominated (shocked net viol-sec %.0f vs %.0f) in %s (report: %s)\n",
+		rep.DominatedPoints, rep.TotalPoints, rep.ShockNetLatSec, rep.ShockNetPropSec,
+		time.Duration(rep.WallSeconds*float64(time.Second)).Round(time.Millisecond), outPath)
+	if calmMissed > 0 {
+		log.Fatalf("latency-aware fails to dominate proportional on %d calm grid points", calmMissed)
+	}
+	if 2*shockDominated < shockTotal || rep.ShockNetLatSec >= rep.ShockNetPropSec {
+		log.Fatalf("latency-aware fails to dominate proportional under shocks: %d/%d points, net viol-sec %.0f vs %.0f",
+			shockDominated, shockTotal, rep.ShockNetLatSec, rep.ShockNetPropSec)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchreport: ")
@@ -149,10 +286,25 @@ func main() {
 	partitions := flag.Int("partitions", 0, "placement partitions for -scale (0 = all cores, 1 = sequential)")
 	scenario := flag.String("scenario", "heavytail", "scenario for -scale: azure, diurnal, bursty or heavytail")
 	shocks := flag.String("shocks", "none", "capacity-shock scenario for -scale: none, poisson, diurnal or rack")
+	slo := flag.Int("slo", 0, "run only the SLO frontier smoke (proportional vs latency-aware) at this VM count")
+	sloOut := flag.String("sloout", "BENCH_slo.json", "where -slo writes its JSON report")
 	flag.Parse()
 
 	if *scale > 0 {
 		runScale(*scale, *shards, *partitions, *scenario, *shocks, *seed, *scaleOut)
+		return
+	}
+	if *slo > 0 {
+		// The frontier smoke defaults to the bursty scenario — the load
+		// swings are what separate the policies — unless -scenario was
+		// given explicitly.
+		scn := "bursty"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scenario" {
+				scn = *scenario
+			}
+		})
+		runSLO(*slo, *shards, *partitions, scn, *seed, *sloOut)
 		return
 	}
 

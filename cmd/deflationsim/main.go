@@ -16,6 +16,10 @@
 //	                                # Poisson revocations at 1/server/day, with
 //	                                # deflation-first evacuation vs preemption kills
 //	deflationsim -shocks rack -racksize 8              # correlated rack shocks
+//	deflationsim -strategies proportional,latency -slo 2 -slocurve kcompile
+//	                                # SLO metering: per-VM processor-sharing slowdowns
+//	                                # against a 2x threshold, with latency-aware
+//	                                # deflation planning against the same model
 //	deflationsim -vms 100000 -cpuprofile cpu.pprof     # diagnose scale regressions
 //	deflationsim -vms 1000000 -shards 0 -partitions 0 -oc 50 -strategies proportional
 //	                                # one giant run: sample/reinflation shards and
@@ -33,6 +37,7 @@ import (
 	"strings"
 
 	"vmdeflate/internal/clustersim"
+	"vmdeflate/internal/perfmodel"
 	"vmdeflate/internal/trace"
 )
 
@@ -57,6 +62,8 @@ func main() {
 	outage := flag.Float64("outage", 7200, "mean revocation outage (seconds)")
 	rackSize := flag.Int("racksize", 8, "correlated group size for -shocks rack")
 	shockSeed := flag.Int64("shockseed", 1, "shock-schedule seed")
+	sloMax := flag.Float64("slo", 0, "SLO slowdown threshold (e.g. 2 = 2x); >0 turns on per-VM queueing-model SLO metering")
+	sloCurve := flag.String("slocurve", "", "perfmodel curve for SLO metering: specjbb, kcompile or memcached (default: worst-case linear)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	flag.Parse()
@@ -95,6 +102,20 @@ func main() {
 		*partitions = runtime.GOMAXPROCS(0)
 	}
 	opts := clustersim.Options{Workers: *workers, Shards: *shards, PlacementPartitions: *partitions}
+	sloOn := *sloMax > 0
+	if sloOn {
+		slo := &clustersim.SLOConfig{MaxSlowdown: *sloMax}
+		if *sloCurve != "" {
+			curve, err := perfmodel.ByName(*sloCurve)
+			if err != nil {
+				log.Fatal(err)
+			}
+			slo.Curve = curve
+		}
+		opts.SLO = slo
+	} else if *sloCurve != "" {
+		log.Fatal("-slocurve requires -slo > 0")
+	}
 	shocked := false
 	if kind, err := trace.ParseShockScenario(*shocks); err != nil {
 		log.Fatal(err)
@@ -154,6 +175,9 @@ func main() {
 		if shocked {
 			fmt.Printf(" %8s %8s %8s", "revoc", "evac", "kills")
 		}
+		if sloOn {
+			fmt.Printf(" %12s %10s %8s", "slo-viol-sec", "viol-rate", "p99-slow")
+		}
 		fmt.Println()
 		incS := clustersim.RevenueIncrease(sr, "static")
 		incP := clustersim.RevenueIncrease(sr, "priority")
@@ -164,6 +188,9 @@ func main() {
 				at(incS, i), at(incP, i), at(incA, i))
 			if shocked {
 				fmt.Printf(" %8d %8d %8d", p.Revocations, p.Evacuations, p.ShockKills)
+			}
+			if sloOn {
+				fmt.Printf(" %12.0f %10.4f %8.2f", p.SLOViolationSeconds, p.SLOViolationRate, p.SLOLatencyP99)
 			}
 			fmt.Println()
 		}

@@ -30,6 +30,9 @@ func steadyStateServer(tb testing.TB, pol policy.Policy) (*Server, Config) {
 			Size:       resources.CPUMem(8, 16384),
 			Deflatable: true,
 			Priority:   []float64{0.25, 0.5, 0.75, 1.0}[i%4],
+			// Mixed offered loads so a latency-aware pass computes real
+			// per-VM safe fractions (ignored by the other policies).
+			Load: []float64{0, 2, 5, 7}[i%4],
 		}
 		if _, _, err := PlaceOn(s, cfg, dc); err != nil {
 			tb.Fatal(err)
@@ -62,7 +65,7 @@ func policyPassCycle(tb testing.TB, s *Server, cfg Config) {
 // allocates by nature; the policy pass is the part that runs once per
 // pressured arrival and departure at cloud scale.)
 func TestPolicyPassSteadyStateZeroAllocs(t *testing.T) {
-	for _, pol := range []policy.Policy{policy.Proportional{}, policy.Priority{}, policy.Deterministic{}} {
+	for _, pol := range []policy.Policy{policy.Proportional{}, policy.Priority{}, policy.Deterministic{}, policy.LatencyAware{}} {
 		t.Run(pol.Name(), func(t *testing.T) {
 			s, cfg := steadyStateServer(t, pol)
 			policyPassCycle(t, s, cfg) // warm the arenas

@@ -681,6 +681,7 @@ func deflateFor(s *Server, cfg Config, dc hypervisor.DomainConfig) (resources.Ve
 			Min:      dc.Floor(),
 			Priority: dc.Priority,
 			Current:  dc.Size, // joins at full size; policy shrinks it
+			Load:     dc.Load,
 		})
 	}
 

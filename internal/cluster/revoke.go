@@ -119,6 +119,10 @@ func (m *Manager) RevokeServers(names ...string) (Evacuation, error) {
 		s := m.byName[name]
 		for _, d := range s.Host.Domains() { // name order
 			dc := d.Config()
+			// Carry the live offered load (DomainConfig holds only the
+			// admission-time seed) so the VM re-lands under its current
+			// load, visible to latency-aware policies at the new server.
+			dc.Load = d.OfferedLoad()
 			if err := m.displaceLocked(s, d, dc); err != nil {
 				return Evacuation{}, err
 			}
@@ -258,7 +262,9 @@ func (m *Manager) displaceForShrinkLocked(s *Server, capacity resources.Vector) 
 		if total.FitsIn(capacity) {
 			break
 		}
-		if err := m.displaceLocked(s, v.d, v.d.Config()); err != nil {
+		dc := v.d.Config()
+		dc.Load = v.d.OfferedLoad() // re-land under the live load
+		if err := m.displaceLocked(s, v.d, dc); err != nil {
 			return err
 		}
 		total = total.Sub(v.minNeed)

@@ -91,11 +91,34 @@ import (
 
 	"vmdeflate/internal/mechanism"
 	"vmdeflate/internal/notify"
+	"vmdeflate/internal/perfmodel"
 	"vmdeflate/internal/policy"
 	"vmdeflate/internal/pricing"
 	"vmdeflate/internal/resources"
 	"vmdeflate/internal/trace"
 )
+
+// SLOConfig enables request-latency SLO metering. At every 5-minute
+// sample the engine maps each deflatable VM's offered load (from its
+// utilisation trace) and current allocation to a request-slowdown ratio
+// through the closed-form processor-sharing model
+// (queueing.PSSlowdownRatio) composed with the application's
+// deflation-response curve — the same model the latency-aware policy
+// plans against — and accumulates violation time, a slowdown histogram
+// and per-priority violation seconds into the Result. The engine also
+// publishes each VM's sampled load to its domain
+// (Domain.SetOfferedLoad), which is what makes the latency-aware policy
+// load-sensitive; without an SLOConfig loads stay zero and runs are
+// bit-for-bit identical to pre-SLO builds.
+type SLOConfig struct {
+	// Curve maps deflation to retained performance for the effective
+	// service rate. The zero value means the worst-case linear curve.
+	Curve perfmodel.Curve
+	// MaxSlowdown is the violation threshold: a sample violates the SLO
+	// when its modelled sojourn-time ratio versus the undeflated VM
+	// exceeds this. Values below 1 select policy.DefaultMaxSlowdown.
+	MaxSlowdown float64
+}
 
 // Mode selects the resource-reclamation strategy under test.
 type Mode int
@@ -182,6 +205,11 @@ type Config struct {
 	// accounting only — it does not feed back into placement — and
 	// defaults to 30 s.
 	EvacuationDowntime float64
+	// SLO, when set, meters request-latency SLO violations every sample
+	// (deflation mode only) and feeds each VM's offered load to its
+	// domain so latency-aware policies can read it. Nil disables both:
+	// non-SLO runs carry zero loads and unchanged results.
+	SLO *SLOConfig
 }
 
 // DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB RAM.
@@ -217,6 +245,18 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.EvacuationDowntime <= 0 {
 		c.EvacuationDowntime = 30
+	}
+	if c.SLO != nil {
+		// Copy before defaulting so a caller-shared SLOConfig (sweeps
+		// reuse one across grid points) is never mutated.
+		slo := *c.SLO
+		if slo.Curve == (perfmodel.Curve{}) {
+			slo.Curve = perfmodel.WorstCaseLinear
+		}
+		if slo.MaxSlowdown < 1 {
+			slo.MaxSlowdown = policy.DefaultMaxSlowdown
+		}
+		c.SLO = &slo
 	}
 	return nil
 }
@@ -272,6 +312,21 @@ type Result struct {
 	OnDemandRevenue   float64
 	CostSavings       map[string]float64
 	RevenueByPriority map[int]float64
+
+	// SLO accounting (deflation mode, only when Config.SLO is set; all
+	// zero/nil otherwise). SLOViolationSeconds is the total VM-time spent
+	// above the slowdown threshold; SLOSampleSeconds is the total metered
+	// VM-time (deflatable VMs only), so SLOViolationRate =
+	// SLOViolationSeconds/SLOSampleSeconds. SLOLatencyP99 is the
+	// histogram-derived 99th-percentile slowdown proxy (bucket upper
+	// edge, resolution 0.05, saturating at the top bucket).
+	// SLOViolationsByPriority splits violation seconds by quantised
+	// priority level, with every level present.
+	SLOViolationSeconds     float64
+	SLOSampleSeconds        float64
+	SLOViolationRate        float64
+	SLOLatencyP99           float64
+	SLOViolationsByPriority map[int]float64
 }
 
 // BaselineServerCount returns the paper's "minimum cluster size capable

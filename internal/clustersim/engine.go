@@ -10,6 +10,7 @@ import (
 	"vmdeflate/internal/hypervisor"
 	"vmdeflate/internal/policy"
 	"vmdeflate/internal/pricing"
+	"vmdeflate/internal/queueing"
 	"vmdeflate/internal/resources"
 	"vmdeflate/internal/trace"
 )
@@ -28,6 +29,11 @@ type vmTracking struct {
 	demand float64 // integrated demand (core-seconds)
 	lost   float64 // integrated demand above allocation
 	prio   float64
+	// sloViol/sloSamples count this VM's SLO-violating and total metered
+	// samples (Config.SLO runs only). Integer per-VM counters folded at
+	// close time keep the accumulation exact and shard-order-free.
+	sloViol    uint32
+	sloSamples uint32
 	// idx is the VM's position in the engine's running list (swap-remove
 	// bookkeeping for the sharded sample pass).
 	idx int
@@ -61,6 +67,16 @@ type Engine struct {
 
 	demandTotal float64
 	lostTotal   float64
+
+	// SLO accumulators (nil unless cfg.SLO is set). sloHists is one
+	// slowdown histogram per shard — the sharded sample pass increments
+	// only its own shard's buckets, and the integer merge at run end is
+	// order-exact, so the shard count cannot perturb the distribution.
+	// sloViolByLevel counts violating samples per quantised priority
+	// level, folded per VM in canonical close order.
+	sloHists       [][]uint64
+	sloViolByLevel []uint64
+	sloSampleCount uint64
 
 	// Arrival-batch scratch, reused across handleArrivals calls.
 	dcBuf   []hypervisor.DomainConfig
@@ -110,15 +126,12 @@ func (e *Engine) Run() (*Result, error) {
 	return e.runDeflation()
 }
 
-// runDeflation drives the deflation-mode event loop: arrivals are
-// placed (deflating residents when needed), departures reinflate
-// survivors, and self-rescheduling sample events meter demand, loss and
-// revenue every trace.SampleInterval. At equal timestamps the queue
-// delivers samples, then departures, then arrivals (see eventKind).
-// With Shards > 1 the sample pass and departure-batch reinflations fan
-// out across shards inside the per-timestamp barrier (see the package
-// comment's sharding section).
-func (e *Engine) runDeflation() (*Result, error) {
+// setupDeflation builds the deflation-mode run state: the cluster
+// manager with its provisioned servers, the event queue seeded with the
+// trace and the shock schedule, and the metric accumulators. Split from
+// the event loop so white-box benchmarks can stand a populated cluster
+// up and drive individual passes. The caller owns e.mgr.Close().
+func (e *Engine) setupDeflation() error {
 	cfg := e.cfg
 	mgrCfg := cluster.Config{
 		Policy:              cfg.Policy,
@@ -131,18 +144,25 @@ func (e *Engine) runDeflation() (*Result, error) {
 		PlacementPartitions: cfg.PlacementPartitions,
 	}
 	e.mgr = cluster.NewManager(mgrCfg)
-	defer e.mgr.Close() // stop the partition phase workers with the run
 	partitions := partitionPlan(cfg, e.nServers)
 	e.serverNames = make([]string, e.nServers)
 	e.revoked = make([]bool, e.nServers)
 	for i := 0; i < e.nServers; i++ {
 		e.serverNames[i] = fmt.Sprintf("node-%03d", i)
 		if _, err := e.mgr.AddServer(e.serverNames[i], cfg.ServerCapacity, partitions[i]); err != nil {
-			return nil, err
+			e.mgr.Close()
+			return err
 		}
 	}
 
 	e.res = &Result{Servers: e.nServers, Revenue: map[string]float64{}, RevenueByPriority: map[int]float64{}}
+	if cfg.SLO != nil {
+		e.sloHists = make([][]uint64, e.shards)
+		for i := range e.sloHists {
+			e.sloHists[i] = make([]uint64, sloHistBuckets)
+		}
+		e.sloViolByLevel = make([]uint64, cfg.PriorityLevels)
+	}
 	e.running = map[string]*vmTracking{}
 	e.queue = newArrivalQueue(cfg.Trace)
 	e.horizon = cfg.Trace.Duration()
@@ -150,6 +170,23 @@ func (e *Engine) runDeflation() (*Result, error) {
 		e.queue.push(simEvent{at: trace.SampleInterval, kind: evSample})
 	}
 	e.pushShocks(e.queue)
+	return nil
+}
+
+// runDeflation drives the deflation-mode event loop: arrivals are
+// placed (deflating residents when needed), departures reinflate
+// survivors, and self-rescheduling sample events meter demand, loss and
+// revenue every trace.SampleInterval. At equal timestamps the queue
+// delivers samples, then departures, then arrivals (see eventKind).
+// With Shards > 1 the sample pass and departure-batch reinflations fan
+// out across shards inside the per-timestamp barrier (see the package
+// comment's sharding section).
+func (e *Engine) runDeflation() (*Result, error) {
+	cfg := e.cfg
+	if err := e.setupDeflation(); err != nil {
+		return nil, err
+	}
+	defer e.mgr.Close() // stop the partition phase workers with the run
 
 	// Reusable scratch for departure batching, so the hot loop does not
 	// allocate per event.
@@ -309,7 +346,65 @@ func (e *Engine) runDeflation() (*Result, error) {
 			e.res.CostSavings[s.Name()] = 1 - e.res.Revenue[s.Name()]/e.res.OnDemandRevenue
 		}
 	}
+	if cfg.SLO != nil {
+		e.finishSLO()
+	}
 	return e.res, nil
+}
+
+// sloHistBuckets and sloHistScale shape the slowdown histogram: bucket i
+// covers slowdown (1 + i/scale, 1 + (i+1)/scale], so 128 buckets at
+// resolution 0.05 track slowdowns up to 7.4x before saturating —
+// comfortably past any plausible SLO threshold.
+const (
+	sloHistBuckets = 128
+	sloHistScale   = 20
+	// sloSlowdownCap bounds the modelled slowdown for metering: far past
+	// every threshold and histogram bucket, yet small enough that the
+	// bucket-index conversion to int stays well-defined.
+	sloSlowdownCap = 1e6
+)
+
+// finishSLO folds the integer SLO accumulators into the Result: all
+// merging is integer summation (exact at any shard count), converted to
+// seconds and rates only at the very end. The p99 proxy is the upper
+// edge of the first histogram bucket at or past the 99th percentile,
+// compared in integers (cum*100 >= total*99) so no division order can
+// flip a boundary sample.
+func (e *Engine) finishSLO() {
+	res := e.res
+	res.SLOViolationsByPriority = make(map[int]float64, len(e.sloViolByLevel))
+	var viol uint64
+	for lvl, n := range e.sloViolByLevel {
+		res.SLOViolationsByPriority[lvl] = float64(n) * trace.SampleInterval
+		viol += n
+	}
+	res.SLOViolationSeconds = float64(viol) * trace.SampleInterval
+	res.SLOSampleSeconds = float64(e.sloSampleCount) * trace.SampleInterval
+	if e.sloSampleCount > 0 {
+		res.SLOViolationRate = float64(viol) / float64(e.sloSampleCount)
+	}
+	merged := e.sloHists[0]
+	for _, h := range e.sloHists[1:] {
+		for i, v := range h {
+			merged[i] += v
+		}
+	}
+	var total uint64
+	for _, v := range merged {
+		total += v
+	}
+	if total == 0 {
+		return
+	}
+	var cum uint64
+	for i, v := range merged {
+		cum += v
+		if cum*100 >= total*99 {
+			res.SLOLatencyP99 = 1 + float64(i+1)/sloHistScale
+			return
+		}
+	}
 }
 
 // pushShocks schedules the run's capacity-shock events: the explicit
@@ -403,8 +498,12 @@ func (e *Engine) applyEvacuation(out cluster.Evacuation, at float64) {
 // to reorder, which is why the shard count cannot change any result.
 func (e *Engine) samplePass(at float64) {
 	if e.shards <= 1 || len(e.runList) < minShardedSample {
+		var hist []uint64
+		if e.sloHists != nil {
+			hist = e.sloHists[0]
+		}
 		for _, vt := range e.runList {
-			sampleVM(vt, at, e.cfg)
+			sampleVM(vt, at, e.cfg, hist)
 		}
 		return
 	}
@@ -415,13 +514,17 @@ func (e *Engine) samplePass(at float64) {
 		if lo == hi {
 			continue
 		}
+		var hist []uint64
+		if e.sloHists != nil {
+			hist = e.sloHists[w]
+		}
 		wg.Add(1)
-		go func(chunk []*vmTracking) {
+		go func(chunk []*vmTracking, hist []uint64) {
 			defer wg.Done()
 			for _, vt := range chunk {
-				sampleVM(vt, at, e.cfg)
+				sampleVM(vt, at, e.cfg, hist)
 			}
-		}(e.runList[lo:hi])
+		}(e.runList[lo:hi], hist)
 	}
 	wg.Wait()
 }
@@ -450,6 +553,10 @@ func (e *Engine) closeVM(vt *vmTracking, at float64) {
 	finishVM(vt, at, e.res, e.cfg)
 	e.demandTotal += vt.demand
 	e.lostTotal += vt.lost
+	if e.cfg.SLO != nil {
+		e.sloViolByLevel[priorityLevel(vt.prio, e.cfg.PriorityLevels)] += uint64(vt.sloViol)
+		e.sloSampleCount += uint64(vt.sloSamples)
+	}
 }
 
 // handleArrivals admits one same-timestamp batch of VMs through the
@@ -476,6 +583,11 @@ func (e *Engine) handleArrivals(evs []simEvent) {
 		}
 		if !deflatable {
 			dc.Priority = 0
+		}
+		if deflatable && cfg.SLO != nil {
+			// Seed the admission-time offered load so the VM's own
+			// admission pass (and any deflation it triggers) sees it.
+			dc.Load = vm.UtilAt(ev.at) / 100 * float64(vm.Cores)
 		}
 		dcs = append(dcs, dc)
 		prios = append(prios, prio)
@@ -512,11 +624,16 @@ func (e *Engine) handleArrivals(evs []simEvent) {
 	}
 }
 
-// sampleVM accumulates demand/loss and refreshes allocation-based
+// sampleVM accumulates demand/loss, SLO state and allocation-based
 // billing at one 5-minute boundary. It touches only vt's own state (and
-// reads its domain through that domain's lock), which is what makes the
-// sharded sample pass safe and shard-count-invariant.
-func sampleVM(vt *vmTracking, at float64, cfg Config) {
+// reads its domain through that domain's lock; hist belongs to this
+// VM's shard alone), which is what makes the sharded sample pass safe
+// and shard-count-invariant. With cfg.SLO set it additionally maps the
+// offered load and current allocation to a request slowdown through the
+// closed-form PS model — pure float math, so the pass stays
+// allocation-free — and publishes the load to the domain for the
+// latency-aware policy's next pass.
+func sampleVM(vt *vmTracking, at float64, cfg Config, hist []uint64) {
 	if !vt.domain.Deflatable() {
 		return
 	}
@@ -527,6 +644,23 @@ func sampleVM(vt *vmTracking, at float64, cfg Config) {
 	vt.demand += demand
 	if over := util/100*maxCores - allocCores; over > 0 {
 		vt.lost += over * trace.SampleInterval
+	}
+	if cfg.SLO != nil {
+		load := util / 100 * maxCores
+		vt.domain.SetOfferedLoad(load)
+		effCap := cfg.SLO.Curve.EffectiveCapacity(maxCores, allocCores)
+		s := queueing.PSSlowdownRatio(load, maxCores, effCap, sloSlowdownCap)
+		vt.sloSamples++
+		if s > cfg.SLO.MaxSlowdown+1e-9 {
+			vt.sloViol++
+		}
+		idx := int((s - 1) * sloHistScale)
+		if idx < 0 {
+			idx = 0
+		} else if idx >= sloHistBuckets {
+			idx = sloHistBuckets - 1
+		}
+		hist[idx]++
 	}
 	for i := range vt.meters {
 		var rate float64

@@ -20,12 +20,21 @@ type SweepPoint struct {
 	ThroughputLossPct  float64
 	Revenue            map[string]float64
 	Servers            int
+	// Admitted counts placed VMs — the denominator that makes SLO
+	// comparisons across strategies meaningful (equal admitted load).
+	Admitted int
 	// Capacity-shock outcomes (zero when the sweep runs without a shock
 	// schedule): revocation events processed, displaced VMs relocated,
 	// displaced VMs killed.
 	Revocations int
 	Evacuations int
 	ShockKills  int
+	// SLO outcomes (zero when the sweep runs without Options.SLO): total
+	// violation seconds, the violation fraction of metered VM-time, and
+	// the histogram p99 slowdown proxy.
+	SLOViolationSeconds float64
+	SLOViolationRate    float64
+	SLOLatencyP99       float64
 }
 
 // SweepResult holds a full overcommitment sweep for one strategy.
@@ -39,6 +48,7 @@ const (
 	StrategyProportional  = "proportional"
 	StrategyPriority      = "priority"
 	StrategyDeterministic = "deterministic"
+	StrategyLatency       = "latency"
 	StrategyPartitioned   = "priority+partitioned"
 	StrategyPreemption    = "preemption"
 )
@@ -48,6 +58,7 @@ var Strategies = []string{
 	StrategyProportional,
 	StrategyPriority,
 	StrategyDeterministic,
+	StrategyLatency,
 	StrategyPartitioned,
 	StrategyPreemption,
 }
@@ -86,6 +97,8 @@ func strategyConfig(tr *trace.AzureTrace, strategy string, baseline int, oc floa
 		cfg.Policy = policy.Priority{}
 	case StrategyDeterministic:
 		cfg.Policy = policy.Deterministic{}
+	case StrategyLatency:
+		cfg.Policy = policy.LatencyAware{}
 	case StrategyPartitioned:
 		cfg.Policy = policy.Priority{}
 		cfg.Partitioned = true
@@ -128,6 +141,12 @@ type Options struct {
 	// schedule generated for its own cluster size, so the deflation
 	// strategies and the preemption baseline face identical transiency.
 	ShockConfig *trace.ShockConfig
+	// SLO, when set, turns on SLO metering for every deflation-mode grid
+	// point and is additionally synced into any latency-aware policy's
+	// curve and threshold, so the policy plans against exactly the model
+	// the metrics judge it by. The "latency" strategy is meaningful only
+	// with this set (without it every VM's load reads zero).
+	SLO *SLOConfig
 }
 
 func (o Options) workers(jobs int) int {
@@ -173,17 +192,36 @@ func runJobs(n, workers int, job func(i int)) {
 	wg.Wait()
 }
 
+// applySLO attaches the sweep's SLO config to one grid point's Config
+// and keeps a latency-aware policy's planning model in lockstep with
+// the metering model.
+func applySLO(cfg *Config, slo *SLOConfig) {
+	if slo == nil {
+		return
+	}
+	cfg.SLO = slo
+	if la, ok := cfg.Policy.(policy.LatencyAware); ok {
+		la.Curve = slo.Curve
+		la.MaxSlowdown = slo.MaxSlowdown
+		cfg.Policy = la
+	}
+}
+
 // sweepPoint projects one run's Result onto its grid point.
 func sweepPoint(pct float64, res *Result) SweepPoint {
 	return SweepPoint{
-		OvercommitPct:      pct,
-		FailureProbability: res.FailureProbability,
-		ThroughputLossPct:  res.ThroughputLoss * 100,
-		Revenue:            res.Revenue,
-		Servers:            res.Servers,
-		Revocations:        res.Revocations,
-		Evacuations:        res.Evacuations,
-		ShockKills:         res.ShockKills,
+		OvercommitPct:       pct,
+		FailureProbability:  res.FailureProbability,
+		ThroughputLossPct:   res.ThroughputLoss * 100,
+		Revenue:             res.Revenue,
+		Servers:             res.Servers,
+		Admitted:            res.Admitted,
+		Revocations:         res.Revocations,
+		Evacuations:         res.Evacuations,
+		ShockKills:          res.ShockKills,
+		SLOViolationSeconds: res.SLOViolationSeconds,
+		SLOViolationRate:    res.SLOViolationRate,
+		SLOLatencyP99:       res.SLOLatencyP99,
 	}
 }
 
@@ -231,6 +269,7 @@ func SweepGrid(tr *trace.AzureTrace, strategies []string, overcommitPcts []float
 		cfg.Shards = opts.Shards
 		cfg.PlacementPartitions = opts.PlacementPartitions
 		cfg.ShockConfig = opts.ShockConfig
+		applySLO(&cfg, opts.SLO)
 		res, err := Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("clustersim: %s @ %g%% OC: %w", strategy, pct, err)
@@ -313,6 +352,7 @@ func ReplicatedSweep(gen func(seed int64) *trace.AzureTrace, seeds []int64, stra
 		cfg.Shards = opts.Shards
 		cfg.PlacementPartitions = opts.PlacementPartitions
 		cfg.ShockConfig = opts.ShockConfig
+		applySLO(&cfg, opts.SLO)
 		res, err := Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("clustersim: seed %d %s @ %g%% OC: %w", seeds[r], strategy, pct, err)
@@ -349,12 +389,16 @@ func AverageSweeps(reps [][]*SweepResult) []*SweepResult {
 		avg := &SweepResult{Strategy: first.Strategy, Points: make([]SweepPoint, len(first.Points))}
 		for pi, p := range first.Points {
 			acc := SweepPoint{OvercommitPct: p.OvercommitPct, Revenue: map[string]float64{}}
-			var servers, revocations, evacuations, kills float64
+			var servers, admitted, revocations, evacuations, kills float64
 			for _, rep := range reps {
 				q := rep[si].Points[pi]
 				acc.FailureProbability += q.FailureProbability / n
 				acc.ThroughputLossPct += q.ThroughputLossPct / n
+				acc.SLOViolationSeconds += q.SLOViolationSeconds / n
+				acc.SLOViolationRate += q.SLOViolationRate / n
+				acc.SLOLatencyP99 += q.SLOLatencyP99 / n
 				servers += float64(q.Servers) / n
+				admitted += float64(q.Admitted) / n
 				revocations += float64(q.Revocations) / n
 				evacuations += float64(q.Evacuations) / n
 				kills += float64(q.ShockKills) / n
@@ -363,6 +407,7 @@ func AverageSweeps(reps [][]*SweepResult) []*SweepResult {
 				}
 			}
 			acc.Servers = int(servers + 0.5)
+			acc.Admitted = int(admitted + 0.5)
 			acc.Revocations = int(revocations + 0.5)
 			acc.Evacuations = int(evacuations + 0.5)
 			acc.ShockKills = int(kills + 0.5)

@@ -91,6 +91,12 @@ type DomainConfig struct {
 	// MinAllocation m_i is an optional QoS floor per Section 5.1.1
 	// equation (2). Zero means no floor.
 	MinAllocation resources.Vector
+	// Load is the domain's initial offered request load in cores
+	// (core-seconds of CPU demand per second). It seeds the live value
+	// maintained by SetOfferedLoad, so a VM admitted — or evacuated to a
+	// new server — under load is visible to latency-aware policies from
+	// its first policy pass.
+	Load float64
 }
 
 func (c *DomainConfig) validate() error {
@@ -111,6 +117,9 @@ func (c *DomainConfig) validate() error {
 	}
 	if c.Deflatable && (c.Priority < 0 || c.Priority > 1) {
 		return fmt.Errorf("%w: domain %s priority %g outside (0,1]", ErrInvalid, c.Name, c.Priority)
+	}
+	if c.Load < 0 {
+		return fmt.Errorf("%w: domain %s negative offered load %g", ErrInvalid, c.Name, c.Load)
 	}
 	return nil
 }
@@ -313,7 +322,7 @@ func (h *Host) refreshCacheLocked() {
 	h.viewDoms = h.viewDoms[:0]
 	for _, d := range h.cacheScratch {
 		a.Committed = a.Committed.Add(d.cfg.Size)
-		state, alloc := d.snapshot()
+		state, alloc, load := d.snapshot()
 		if state != Running {
 			continue
 		}
@@ -333,6 +342,7 @@ func (h *Host) refreshCacheLocked() {
 			Min:      floor,
 			Priority: d.cfg.Priority,
 			Current:  alloc,
+			Load:     load,
 		})
 		h.viewDoms = append(h.viewDoms, d)
 	}
@@ -392,6 +402,7 @@ func (h *Host) Define(cfg DomainConfig) (*Domain, error) {
 		state: Defined,
 		guest: guest,
 		cg:    cg,
+		load:  cfg.Load,
 	}
 	h.domains[cfg.Name] = d
 	i := sort.Search(len(h.order), func(i int) bool { return h.order[i].cfg.Name >= cfg.Name })
@@ -493,6 +504,10 @@ type Domain struct {
 	allocValid bool
 	allocCache resources.Vector
 
+	// load is the offered request load (cores) last reported through
+	// SetOfferedLoad, seeded from DomainConfig.Load. Guarded by mu.
+	load float64
+
 	// deflatedBy records the most recent mechanism label ("transparent",
 	// "explicit", "hybrid") for observability.
 	deflatedBy string
@@ -572,14 +587,41 @@ func (d *Domain) Allocation() resources.Vector {
 	return d.allocationLocked()
 }
 
-// snapshot returns the domain's lifecycle state and current allocation
-// through one lock acquisition — the combined read the host's cache
-// rebuild walk uses so it pays one domain lock per domain instead of
-// one per accessor.
-func (d *Domain) snapshot() (DomainState, resources.Vector) {
+// snapshot returns the domain's lifecycle state, current allocation and
+// offered load through one lock acquisition — the combined read the
+// host's cache rebuild walk uses so it pays one domain lock per domain
+// instead of one per accessor.
+func (d *Domain) snapshot() (DomainState, resources.Vector, float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.state, d.allocationLocked()
+	return d.state, d.allocationLocked(), d.load
+}
+
+// OfferedLoad returns the domain's current offered request load (cores).
+func (d *Domain) OfferedLoad() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.load
+}
+
+// SetOfferedLoad reports the domain's current offered request load in
+// cores (core-seconds of demand per second), as metered by whatever is
+// watching the VM's request stream. Latency-aware policies read it from
+// the host's deflatable view. Negative values clamp to zero. The
+// aggregate cache is invalidated only when the value actually changes,
+// so re-reporting a steady load between policy passes stays O(1) and
+// keeps the host's clean-cache fast path intact.
+func (d *Domain) SetOfferedLoad(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	d.mu.Lock()
+	changed := d.load != v
+	d.load = v
+	d.mu.Unlock()
+	if changed {
+		d.host.invalidateAggregates()
+	}
 }
 
 func (d *Domain) allocationLocked() resources.Vector {

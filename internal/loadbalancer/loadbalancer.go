@@ -25,6 +25,22 @@ type Backend struct {
 	// capacity is the dynamic effective capacity reported by the
 	// deflation system (deflation-aware re-weighting).
 	capacity float64
+	// effWeight is the capacity-derived weight a DeflationAware balancer
+	// maintains. It is kept separate from the static Weight so the
+	// configured proportion survives deflate/reinflate round trips;
+	// effValid gates which of the two smooth WRR reads.
+	effWeight int
+	effValid  bool
+}
+
+// weight returns the backend's smooth-WRR weight: the capacity-derived
+// effective weight when a DeflationAware balancer maintains one, else
+// the static configured weight.
+func (b *Backend) weight() int {
+	if b.effValid {
+		return b.effWeight
+	}
+	return b.Weight
 }
 
 // ErrNoBackends is returned when the balancer has no usable backend.
@@ -87,18 +103,21 @@ func NewWeightedRoundRobin(backends []*Backend) *WeightedRoundRobin {
 // Name implements Balancer.
 func (*WeightedRoundRobin) Name() string { return "weighted-round-robin" }
 
-// Pick implements Balancer.
+// Pick implements Balancer. Ties on the smooth-WRR counter break by
+// name, so the pick sequence is a strict total order independent of the
+// backend slice's construction order.
 func (w *WeightedRoundRobin) Pick() (*Backend, error) {
 	var best *Backend
 	total := 0
 	for _, b := range w.backends {
-		wt := b.Weight
+		wt := b.weight()
 		if wt <= 0 {
 			continue
 		}
 		total += wt
 		b.current += wt
-		if best == nil || b.current > best.current {
+		if best == nil || b.current > best.current ||
+			(b.current == best.current && b.Name < best.Name) {
 			best = b
 		}
 	}
@@ -111,7 +130,8 @@ func (w *WeightedRoundRobin) Pick() (*Backend, error) {
 }
 
 // LeastConnections picks the backend with the fewest in-flight requests,
-// breaking ties by configured weight.
+// breaking ties by configured weight, then by name — a strict total
+// order, so the pick sequence cannot depend on slice position.
 type LeastConnections struct {
 	backends []*Backend
 }
@@ -129,7 +149,8 @@ func (l *LeastConnections) Pick() (*Backend, error) {
 	var best *Backend
 	for _, b := range l.backends {
 		if best == nil || b.inflight < best.inflight ||
-			(b.inflight == best.inflight && b.Weight > best.Weight) {
+			(b.inflight == best.inflight && (b.Weight > best.Weight ||
+				(b.Weight == best.Weight && b.Name < best.Name))) {
 			best = b
 		}
 	}
@@ -179,7 +200,11 @@ func (da *DeflationAware) reweigh() {
 		if b.capacity > 0 && w == 0 {
 			w = 1
 		}
-		b.Weight = w
+		// The derived weight lives beside the static Weight, never over
+		// it: after a deflate/reinflate round trip the configured
+		// proportion is still intact for anything reading Weight.
+		b.effWeight = w
+		b.effValid = true
 	}
 }
 

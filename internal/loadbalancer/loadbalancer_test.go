@@ -143,6 +143,91 @@ func TestDeflationAwareReweighting(t *testing.T) {
 	}
 }
 
+// pickSeq records the names of n successive picks without releasing.
+func pickSeq(t *testing.T, b Balancer, n int, release bool) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		be, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, be.Name)
+		if release {
+			Release(be)
+		}
+	}
+	return out
+}
+
+// TestPickOrderIndependentOfSlicePosition pins the strict-total-order
+// tie-break: with equal weights (WRR) or equal inflight counts (least
+// connections), the pick sequence must be identical no matter how the
+// backend slice is permuted — ties end in name, never slice position.
+func TestPickOrderIndependentOfSlicePosition(t *testing.T) {
+	orders := [][]string{
+		{"a", "b", "c"},
+		{"c", "a", "b"},
+		{"b", "c", "a"},
+	}
+	build := func(names []string) []*Backend {
+		bs := make([]*Backend, len(names))
+		for i, n := range names {
+			bs[i] = &Backend{Name: n, Weight: 2}
+		}
+		return bs
+	}
+	wrrWant := pickSeq(t, NewWeightedRoundRobin(build(orders[0])), 9, true)
+	lcWant := pickSeq(t, NewLeastConnections(build(orders[0])), 9, false)
+	for _, names := range orders[1:] {
+		if got := pickSeq(t, NewWeightedRoundRobin(build(names)), 9, true); !equalSeq(got, wrrWant) {
+			t.Errorf("WRR picks depend on slice order %v: got %v, want %v", names, got, wrrWant)
+		}
+		if got := pickSeq(t, NewLeastConnections(build(names)), 9, false); !equalSeq(got, lcWant) {
+			t.Errorf("least-connections picks depend on slice order %v: got %v, want %v", names, got, lcWant)
+		}
+	}
+}
+
+func equalSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeflationAwareKeepsStaticWeight is the reinflate round trip: the
+// configured Weight must survive deflation untouched, and restoring the
+// original capacity must restore the original traffic proportions.
+func TestDeflationAwareKeepsStaticWeight(t *testing.T) {
+	bs := []*Backend{
+		{Name: "big", Weight: 3},
+		{Name: "small", Weight: 1},
+	}
+	da := NewDeflationAware(bs)
+	if got := countPicks(t, da, 400); got["big"] != 300 || got["small"] != 100 {
+		t.Fatalf("initial picks = %v, want 300/100", got)
+	}
+	// Deflate big to the same capacity as small: traffic evens out.
+	da.ReportCapacity(bs[0], 1)
+	if got := countPicks(t, da, 400); got["big"] != 200 || got["small"] != 200 {
+		t.Errorf("deflated picks = %v, want 200/200", got)
+	}
+	if bs[0].Weight != 3 || bs[1].Weight != 1 {
+		t.Errorf("static weights clobbered: big=%d small=%d, want 3/1", bs[0].Weight, bs[1].Weight)
+	}
+	// Reinflate: the original proportion must come back.
+	da.ReportCapacity(bs[0], 3)
+	if got := countPicks(t, da, 400); got["big"] != 300 || got["small"] != 100 {
+		t.Errorf("restored picks = %v, want 300/100", got)
+	}
+}
+
 func TestDeflationAwareTinyCapacity(t *testing.T) {
 	bs := []*Backend{
 		{Name: "tiny", Weight: 100},

@@ -1,0 +1,58 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDeflationForInvertsPerformance checks the analytic inverse on a
+// dense grid over every calibrated curve: the returned deflation must
+// achieve at least the asked-for performance, and deflating any
+// materially further must drop below it (largest-d semantics).
+func TestDeflationForInvertsPerformance(t *testing.T) {
+	curves := map[string]Curve{
+		"worst-case": WorstCaseLinear,
+		"specjbb":    SpecJBB,
+		"kcompile":   Kcompile,
+		"memcached":  Memcached,
+	}
+	for name, c := range curves {
+		for p := 0.05; p < 1.0; p += 0.05 {
+			d := c.DeflationFor(p)
+			if d < 0 || d > 1 {
+				t.Fatalf("%s: DeflationFor(%g) = %g outside [0,1]", name, p, d)
+			}
+			if got := c.Performance(d); got+1e-9 < p {
+				t.Errorf("%s: DeflationFor(%g) = %g but Performance there is %g", name, p, d, got)
+			}
+			if d+0.01 < 1 {
+				if got := c.Performance(d + 0.01); got > p+1e-9 {
+					t.Errorf("%s: DeflationFor(%g) = %g not maximal: d+0.01 still yields %g", name, p, d, got)
+				}
+			}
+		}
+		if got := c.DeflationFor(1); math.Abs(got-c.Slack) > 1e-12 {
+			t.Errorf("%s: DeflationFor(1) = %g, want slack %g", name, got, c.Slack)
+		}
+		if got := c.DeflationFor(0); got != 1 {
+			t.Errorf("%s: DeflationFor(0) = %g, want 1", name, got)
+		}
+	}
+}
+
+// TestEffectiveCapacity pins the allocation -> service-rate map for the
+// worst-case linear curve (rate == allocation) and a slack curve (rate
+// stays nominal through the slack region).
+func TestEffectiveCapacity(t *testing.T) {
+	if got := WorstCaseLinear.EffectiveCapacity(8, 6); math.Abs(got-6) > 1e-12 {
+		t.Errorf("worst-case EffectiveCapacity(8, 6) = %g, want 6", got)
+	}
+	// Memcached has 0.35 slack: deflating 8 cores to 6 (d=0.25) costs
+	// nothing.
+	if got := Memcached.EffectiveCapacity(8, 6); math.Abs(got-8) > 1e-12 {
+		t.Errorf("memcached EffectiveCapacity(8, 6) = %g, want 8", got)
+	}
+	if got := WorstCaseLinear.EffectiveCapacity(0, 0); got != 0 {
+		t.Errorf("EffectiveCapacity(0, 0) = %g, want 0", got)
+	}
+}

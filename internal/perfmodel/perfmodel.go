@@ -81,6 +81,57 @@ func (c Curve) Slowdown(d, maxSlowdown float64) float64 {
 	return 1 / p
 }
 
+// DeflationFor inverts Performance analytically: the largest deflation
+// d in [0,1] whose performance is still at least perf. It is the
+// latency-aware policy's question — "how far can this VM deflate before
+// its service rate drops below what its load needs?" — answered per
+// region of the curve, so the hot path never searches. perf >= 1 means
+// only the slack region qualifies; perf <= 0 means any deflation does.
+func (c Curve) DeflationFor(perf float64) float64 {
+	if perf >= 1 {
+		return c.Slack
+	}
+	if perf <= 0 {
+		return 1
+	}
+	atKnee := 1 - c.LossAtKnee
+	if perf >= atKnee {
+		// Linear region: perf = 1 - loss*(d-slack)/(knee-slack).
+		if c.LossAtKnee <= 0 {
+			return c.Knee
+		}
+		return c.Slack + (1-perf)*(c.Knee-c.Slack)/c.LossAtKnee
+	}
+	// Post-knee collapse: perf = atKnee * ((1-d)/(1-knee))^E.
+	if atKnee <= 0 || c.Knee >= 1 {
+		return c.Knee
+	}
+	if c.CollapseExp <= 0 {
+		// Flat post-knee region at atKnee performance: every d < 1
+		// keeps it, and d = 1 is zero performance by definition.
+		return 1
+	}
+	d := 1 - (1-c.Knee)*math.Pow(perf/atKnee, 1/c.CollapseExp)
+	if d > 1 {
+		d = 1
+	}
+	if d < c.Knee {
+		d = c.Knee
+	}
+	return d
+}
+
+// EffectiveCapacity scales a nominal capacity (cores) by the curve's
+// performance at the allocation's deflation level: the service rate a
+// VM deflated from fullCap to alloc actually delivers. This is the
+// allocation -> service-rate map the SLO metrics are built on.
+func (c Curve) EffectiveCapacity(fullCap, alloc float64) float64 {
+	if fullCap <= 0 {
+		return 0
+	}
+	return fullCap * c.Performance(1-alloc/fullCap)
+}
+
 // WorstCaseLinear is the conservative model the cluster-level policies
 // assume (Section 5): no slack, performance = 1 - d.
 var WorstCaseLinear = Curve{Slack: 0, Knee: 1, LossAtKnee: 1, CollapseExp: 1}

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sort"
 
+	"vmdeflate/internal/perfmodel"
+	"vmdeflate/internal/queueing"
 	"vmdeflate/internal/resources"
 )
 
@@ -53,6 +55,11 @@ type VMState struct {
 	Priority float64
 	// Current is the VM's present allocation.
 	Current resources.Vector
+	// Load is the VM's offered request load in cores (core-seconds of
+	// CPU demand per second), as last observed by the hypervisor. Only
+	// latency-aware policies read it; it is zero unless the simulation
+	// meters SLOs.
+	Load float64
 }
 
 // Result is a policy decision in map form.
@@ -82,7 +89,9 @@ type Scratch struct {
 	targets []resources.Vector
 	entries []wfEntry
 	order   []int
+	keys    []float64
 	sorter  detSorter
+	lsort   latSorter
 }
 
 // grow returns s.targets resized to n, reusing capacity.
@@ -411,6 +420,142 @@ func (Deterministic) TargetsInto(vms []VMState, need resources.Vector, s *Scratc
 	return finishSlice(vms, targets, need)
 }
 
+// DefaultMaxSlowdown is the SLO threshold a zero-configured LatencyAware
+// policy protects: request sojourn times may stretch at most 3x relative
+// to the undeflated VM.
+const DefaultMaxSlowdown = 3.0
+
+// LatencyAware deflates the VMs with the most latency headroom first.
+// For each VM it combines the closed-form processor-sharing model with
+// the application's deflation-response curve to answer "how far can this
+// VM deflate before its offered load pushes request slowdown past the
+// SLO threshold?", then reclaims capacity greedily from the VMs whose
+// answer is deepest. Like Deterministic it recomputes the deflation set
+// from scratch on every pass, so reinflation falls out of the same code
+// path; unlike the proportional family it is load-sensitive — an idle VM
+// absorbs reclamation before a loaded one regardless of priority.
+//
+// The decision is two-phase: first every selected VM is deflated only to
+// its latency-safe allocation (the SLO holds for all residents); only if
+// the need still cannot be met does a second pass push VMs on down to
+// their QoS floors, again most-headroom-first, accepting SLO violations
+// on as few VMs as possible. Both walks follow the same strict total
+// order (safe fraction ascending, then name), so the decision is
+// bit-for-bit reproducible.
+type LatencyAware struct {
+	// Curve maps deflation to retained performance. The zero value means
+	// the conservative worst-case linear assumption of Section 5.
+	Curve perfmodel.Curve
+	// MaxSlowdown is the SLO threshold: the largest tolerable sojourn
+	// ratio versus the undeflated VM. Values below 1 (including zero)
+	// select DefaultMaxSlowdown.
+	MaxSlowdown float64
+}
+
+// Name implements Policy.
+func (LatencyAware) Name() string { return "latency" }
+
+// Targets implements Policy.
+func (p LatencyAware) Targets(vms []VMState, need resources.Vector) (Result, error) {
+	return mapTargets(p, vms, need)
+}
+
+// latSorter orders VM indices by (safe fraction, name) ascending: the
+// VMs that can deflate deepest without violating their SLO come first.
+// It lives in the Scratch for the same reason as detSorter — sort.Sort
+// gets an already-heap-allocated pointer, so the pass allocates nothing.
+type latSorter struct {
+	vms   []VMState
+	keys  []float64
+	order []int
+}
+
+func (l *latSorter) Len() int      { return len(l.order) }
+func (l *latSorter) Swap(i, j int) { l.order[i], l.order[j] = l.order[j], l.order[i] }
+func (l *latSorter) Less(i, j int) bool {
+	a, b := l.order[i], l.order[j]
+	if l.keys[a] != l.keys[b] {
+		return l.keys[a] < l.keys[b]
+	}
+	return l.vms[a].Name < l.vms[b].Name
+}
+
+// safeFraction returns the smallest fraction of its nominal size the VM
+// can shrink to while keeping request slowdown within maxSlowdown: the
+// PS model gives the minimal effective capacity the load needs, and the
+// curve inversion converts that into an allocation (effective capacity
+// and allocation differ whenever the curve has slack).
+func safeFraction(vm *VMState, curve perfmodel.Curve, maxSlowdown float64) float64 {
+	fullCap := vm.Max.Get(resources.CPU)
+	if fullCap <= 0 {
+		return 0
+	}
+	needCap := queueing.PSCapacityForSlowdown(vm.Load, fullCap, maxSlowdown)
+	return 1 - curve.DeflationFor(needCap/fullCap)
+}
+
+// TargetsInto implements Policy.
+func (p LatencyAware) TargetsInto(vms []VMState, need resources.Vector, s *Scratch) (SliceResult, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	curve := p.Curve
+	if curve == (perfmodel.Curve{}) {
+		curve = perfmodel.WorstCaseLinear
+	}
+	maxS := p.MaxSlowdown
+	if maxS < 1 {
+		maxS = DefaultMaxSlowdown
+	}
+
+	targets := s.grow(len(vms))
+	if cap(s.order) < len(vms) {
+		s.order = make([]int, len(vms))
+	} else {
+		s.order = s.order[:len(vms)]
+	}
+	if cap(s.keys) < len(vms) {
+		s.keys = make([]float64, len(vms))
+	} else {
+		s.keys = s.keys[:len(vms)]
+	}
+	for i := range vms {
+		s.order[i] = i
+		s.keys[i] = safeFraction(&vms[i], curve, maxS)
+	}
+	s.lsort.vms, s.lsort.keys, s.lsort.order = vms, s.keys, s.order
+	sort.Sort(&s.lsort)
+	s.lsort.vms = nil // do not retain the caller's slice
+
+	_, _, curTotal := totals(vms)
+	desired := curTotal.Sub(need)
+
+	var total resources.Vector
+	for i := range vms {
+		targets[i] = vms[i].Max
+		total = total.Add(vms[i].Max)
+	}
+	// Phase 1: deflate to latency-safe allocations, most headroom first.
+	for _, i := range s.order {
+		if total.FitsIn(desired) {
+			break
+		}
+		safe := vms[i].Max.Scale(s.keys[i]).Max(vms[i].Min)
+		total = total.Sub(targets[i]).Add(safe)
+		targets[i] = safe
+	}
+	// Phase 2: the SLO budget is exhausted — push on to the QoS floors in
+	// the same order, so violations land on the fewest VMs possible.
+	for _, i := range s.order {
+		if total.FitsIn(desired) {
+			break
+		}
+		total = total.Sub(targets[i]).Add(vms[i].Min)
+		targets[i] = vms[i].Min
+	}
+	return finishSlice(vms, targets, need)
+}
+
 // ByName returns the policy with the given name.
 func ByName(name string) (Policy, error) {
 	switch name {
@@ -420,6 +565,8 @@ func ByName(name string) (Policy, error) {
 		return Priority{}, nil
 	case "deterministic":
 		return Deterministic{}, nil
+	case "latency":
+		return LatencyAware{}, nil
 	}
 	return nil, fmt.Errorf("policy: unknown policy %q", name)
 }

@@ -17,7 +17,7 @@ func vm(name string, cores, memMB float64, prio float64) VMState {
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
 
 func TestByName(t *testing.T) {
-	for _, n := range []string{"proportional", "priority", "deterministic"} {
+	for _, n := range []string{"proportional", "priority", "deterministic", "latency"} {
 		p, err := ByName(n)
 		if err != nil || p.Name() != n {
 			t.Errorf("ByName(%q) = %v, %v", n, p, err)

@@ -13,6 +13,7 @@
 package queueing
 
 import (
+	"fmt"
 	"math"
 
 	"container/heap"
@@ -80,14 +81,18 @@ func NewPSStation(eng *sim.Engine, capacity float64) *PSStation {
 }
 
 // SetPerJobCap overrides the per-job service rate cap (cores). Useful
-// for modelling multi-threaded request handlers.
-func (s *PSStation) SetPerJobCap(c float64) {
-	s.advance(s.eng.Now())
+// for modelling multi-threaded request handlers. A cap must be
+// positive: zero or negative caps are configuration errors (the old
+// behaviour silently pinned them to 1e-9, which starved the station
+// while looking healthy).
+func (s *PSStation) SetPerJobCap(c float64) error {
 	if c <= 0 {
-		c = 1e-9
+		return fmt.Errorf("queueing: per-job cap %g must be positive", c)
 	}
+	s.advance(s.eng.Now())
 	s.perJobCap = c
 	s.reschedule()
+	return nil
 }
 
 // Capacity returns the station's current capacity.
@@ -119,12 +124,15 @@ func (s *PSStation) rate() float64 {
 	return r
 }
 
-// advance progresses the virtual clock to wall time now.
+// advance progresses the virtual clock to wall time now. Time is
+// clamped monotonically: a stale now must not move lastT backward, or
+// the next advance would re-credit the interval and double-count
+// service.
 func (s *PSStation) advance(now float64) {
 	if now > s.lastT {
 		s.vclock += (now - s.lastT) * s.rate()
+		s.lastT = now
 	}
-	s.lastT = now
 }
 
 // Submit enters a job with the given CPU demand (core-seconds); onDone

@@ -180,7 +180,9 @@ func TestZeroCapacityStarves(t *testing.T) {
 func TestPerJobCap(t *testing.T) {
 	eng := sim.NewEngine(1)
 	s := NewPSStation(eng, 8)
-	s.SetPerJobCap(2) // multi-threaded handler can use 2 cores
+	if err := s.SetPerJobCap(2); err != nil { // multi-threaded handler can use 2 cores
+		t.Fatal(err)
+	}
 	var d float64
 	eng.At(0, func(float64) {
 		s.Submit(4.0, func(now float64) { d = now })
@@ -250,7 +252,9 @@ func TestMM1PSMeanSojourn(t *testing.T) {
 func TestWorkConservation(t *testing.T) {
 	eng := sim.NewEngine(7)
 	s := NewPSStation(eng, 2)
-	s.SetPerJobCap(2)
+	if err := s.SetPerJobCap(2); err != nil {
+		t.Fatal(err)
+	}
 	totalWork := 0.0
 	eng.At(0, func(float64) {
 		for i := 0; i < 50; i++ {
