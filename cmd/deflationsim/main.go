@@ -21,6 +21,10 @@
 //	                                # against a 2x threshold, with latency-aware
 //	                                # deflation planning against the same model
 //	deflationsim -vms 100000 -cpuprofile cpu.pprof     # diagnose scale regressions
+//	deflationsim -vms 1000000 -stream -oc 50 -strategies proportional
+//	                                # streamed trace: VM parameters generate at
+//	                                # arrival, utilisation synthesizes on demand —
+//	                                # O(live VMs) resident memory, same results
 //	deflationsim -vms 1000000 -shards 0 -partitions 0 -oc 50 -strategies proportional
 //	                                # one giant run: sample/reinflation shards and
 //	                                # propose/commit placement partitions on all cores
@@ -62,6 +66,7 @@ func main() {
 	outage := flag.Float64("outage", 7200, "mean revocation outage (seconds)")
 	rackSize := flag.Int("racksize", 8, "correlated group size for -shocks rack")
 	shockSeed := flag.Int64("shockseed", 1, "shock-schedule seed")
+	stream := flag.Bool("stream", false, "drive the sweep from a streaming trace: O(live VMs) resident memory, identical results (synthetic single-trace runs only; excludes the preemption strategy)")
 	sloMax := flag.Float64("slo", 0, "SLO slowdown threshold (e.g. 2 = 2x); >0 turns on per-VM queueing-model SLO metering")
 	sloCurve := flag.String("slocurve", "", "perfmodel curve for SLO metering: specjbb, kcompile or memcached (default: worst-case linear)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -132,6 +137,19 @@ func main() {
 
 	var results []*clustersim.SweepResult
 	switch {
+	case *stream:
+		if *azurePath != "" || *replicates > 1 {
+			log.Fatal("-stream applies to synthetic single-trace runs only (not -azure or -replicates)")
+		}
+		s, err := trace.NewNamedStream(*scenario, *nVMs, *days*86400, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario %s (streamed): %d VMs, horizon %.1f days\n\n", *scenario, s.Len(), *days)
+		results, err = clustersim.SweepGridStream(s, strats, ocs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	case *azurePath != "":
 		tr := loadCSV(*azurePath)
 		fmt.Printf("trace: %d VMs, horizon %.1f days\n\n", len(tr.VMs), tr.Duration()/86400)

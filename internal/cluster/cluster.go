@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"vmdeflate/internal/cluster/capindex"
 	"vmdeflate/internal/hypervisor"
@@ -123,6 +124,12 @@ type Config struct {
 	// parallelism against per-batch barrier overhead. Forced to 1 when
 	// ReferencePlacement is set.
 	PlacementPartitions int
+	// CollectTimings accumulates per-phase wall times
+	// (propose/commit/reinflate), readable through
+	// Manager.PhaseTimings. Off by default: the clock reads sit on the
+	// per-batch paths, and benchmarks should not pay for them unasked.
+	// Timing collection never influences any placement outcome.
+	CollectTimings bool
 }
 
 func (c *Config) applyDefaults() {
@@ -264,6 +271,30 @@ type Manager struct {
 	workCh chan int
 	wg     sync.WaitGroup
 	closed bool
+
+	// Per-phase wall-time accumulators (Config.CollectTimings), written
+	// under mu by the placement/reinflation paths.
+	proposeTime   time.Duration
+	commitTime    time.Duration
+	reinflateTime time.Duration
+}
+
+// PhaseTimings is the per-phase wall-time breakdown a manager
+// accumulates when Config.CollectTimings is set: the parallel propose
+// phase, the serial commit walk (all placement time, with a single
+// partition), and the reinflation passes.
+type PhaseTimings struct {
+	Propose   time.Duration
+	Commit    time.Duration
+	Reinflate time.Duration
+}
+
+// PhaseTimings returns the accumulated phase timings (zero unless
+// Config.CollectTimings is set).
+func (m *Manager) PhaseTimings() PhaseTimings {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return PhaseTimings{Propose: m.proposeTime, Commit: m.commitTime, Reinflate: m.reinflateTime}
 }
 
 // DeflationEvents returns how many times an existing VM's allocation
@@ -813,6 +844,10 @@ func (m *Manager) RemoveVMs(names ...string) error {
 // reported, always the first in server order — are bit-for-bit
 // identical at any shard count.
 func (m *Manager) reinflateAffected(affected []*Server) error {
+	if m.cfg.CollectTimings && len(affected) > 0 {
+		t0 := time.Now()
+		defer func() { m.reinflateTime += time.Since(t0) }()
+	}
 	shards := m.cfg.ReinflateShards
 	if shards > len(affected) {
 		shards = len(affected)

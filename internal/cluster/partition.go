@@ -45,6 +45,7 @@ package cluster
 import (
 	"runtime"
 	"sort"
+	"time"
 
 	"vmdeflate/internal/cluster/capindex"
 	"vmdeflate/internal/hypervisor"
@@ -379,8 +380,16 @@ func (m *Manager) placeAllLocked(dcs []hypervisor.DomainConfig) {
 		return
 	}
 	if len(m.parts) == 1 {
+		var t0 time.Time
+		if m.cfg.CollectTimings {
+			t0 = time.Now()
+		}
 		for i := range dcs {
 			m.results[i] = m.placeSequentialLocked(dcs[i])
+		}
+		if m.cfg.CollectTimings {
+			// With no propose phase, all placement time counts as commit.
+			m.commitTime += time.Since(t0)
 		}
 		return
 	}
@@ -474,8 +483,18 @@ func (m *Manager) pressureLiveLocked(dc hypervisor.DomainConfig, best *Server) (
 // placeBatchLocked is the partitioned engine: parallel propose against
 // the batch-start state, then a serial commit walk in batch order.
 func (m *Manager) placeBatchLocked(dcs []hypervisor.DomainConfig) {
+	var t0 time.Time
+	timed := m.cfg.CollectTimings
 	m.syncDirtyLocked()
+	if timed {
+		t0 = time.Now()
+	}
 	m.proposeLocked(dcs)
+	if timed {
+		now := time.Now()
+		m.proposeTime += now.Sub(t0)
+		t0 = now
+	}
 	if m.touched == nil {
 		m.touched = make(map[*Server]bool)
 	}
@@ -484,6 +503,9 @@ func (m *Manager) placeBatchLocked(dcs []hypervisor.DomainConfig) {
 	for i := range dcs {
 		m.syncDirtyLocked() // drains exactly what the previous commit touched
 		m.results[i] = m.commitOneLocked(i, dcs[i])
+	}
+	if timed {
+		m.commitTime += time.Since(t0)
 	}
 	m.batchDCs = nil // do not retain the caller's slice
 }

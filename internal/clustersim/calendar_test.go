@@ -1,0 +1,124 @@
+package clustersim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalendarQueueMatchesHeapRandomized is the randomized differential
+// property: any interleaving of pushes and pops drains in exactly the
+// same (time, kind, seq) order from the calendar and the heap. The
+// workload deliberately includes same-instant collisions across every
+// kind and adjacent seq values — the tie cases the total order exists
+// for — plus time-warped pushes below the current scan position.
+func TestCalendarQueueMatchesHeapRandomized(t *testing.T) {
+	kinds := []eventKind{evSample, evDeparture, evRestore, evRevoke, evResize, evArrival}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		cal := newCalendarQueue(8, 1000)
+		hp := &heapQueue{}
+		seq := 0
+		mk := func() simEvent {
+			// Quantised times force heavy same-instant collisions; a few
+			// scattered huge times exercise the year filter and the
+			// direct-scan fallback.
+			at := float64(rng.Intn(50)) * 100
+			if rng.Intn(20) == 0 {
+				at = float64(rng.Intn(1000000)) + rng.Float64()
+			}
+			e := simEvent{at: at, kind: kinds[rng.Intn(len(kinds))], seq: seq}
+			if rng.Intn(3) == 0 {
+				e.seq = seq - rng.Intn(2) // adjacent-seq ties at same instant
+			}
+			seq++
+			return e
+		}
+		live := 0
+		for op := 0; op < 20000; op++ {
+			if live == 0 || rng.Intn(3) != 0 {
+				e := mk()
+				cal.push(e)
+				hp.push(e)
+				live++
+				continue
+			}
+			if cal.empty() != hp.empty() {
+				t.Fatalf("seed %d op %d: empty() diverges", seed, op)
+			}
+			cp, hpk := cal.peek(), hp.peek()
+			if cp != hpk {
+				t.Fatalf("seed %d op %d: peek %+v != %+v", seed, op, cp, hpk)
+			}
+			ce, he := cal.pop(), hp.pop()
+			if ce != he {
+				t.Fatalf("seed %d op %d: pop %+v != %+v", seed, op, ce, he)
+			}
+			live--
+		}
+		for !hp.empty() {
+			if cal.empty() {
+				t.Fatalf("seed %d: calendar drained early", seed)
+			}
+			ce, he := cal.pop(), hp.pop()
+			if ce != he {
+				t.Fatalf("seed %d: drain pop %+v != %+v", seed, ce, he)
+			}
+		}
+		if !cal.empty() {
+			t.Fatalf("seed %d: calendar not empty after drain", seed)
+		}
+	}
+}
+
+// TestCalendarQueueResizeCycle drives the population through growth and
+// drain so both resize directions (double and shrink) fire, and the
+// drain order stays fully sorted.
+func TestCalendarQueueResizeCycle(t *testing.T) {
+	q := newCalendarQueue(4, 10)
+	rng := rand.New(rand.NewSource(9))
+	n := 5000
+	for i := 0; i < n; i++ {
+		q.push(simEvent{at: rng.Float64() * 1e5, kind: evSample, seq: i})
+	}
+	var last simEvent
+	for i := 0; i < n; i++ {
+		e := q.pop()
+		if i > 0 && eventLess(e, last) {
+			t.Fatalf("pop %d out of order: %+v after %+v", i, e, last)
+		}
+		last = e
+	}
+	if !q.empty() {
+		t.Fatal("queue not empty after full drain")
+	}
+}
+
+// BenchmarkCalendarQueueSteadyState is the hot-loop shape the engine
+// drives: a warmed queue at constant size, one pop + one push per
+// iteration (a departure retiring and a new one scheduling). Gated at 0
+// allocs/op by `make bench-allocs` — the buckets are warmed to capacity
+// before timing, so steady-state churn must not grow anything.
+func BenchmarkCalendarQueueSteadyState(b *testing.B) {
+	const live = 4096
+	q := newCalendarQueue(live, 86400)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < live; i++ {
+		q.push(simEvent{at: rng.Float64() * 86400, kind: evDeparture, seq: i})
+	}
+	// One full churn cycle warms every bucket's capacity past what the
+	// steady state revisits.
+	for i := 0; i < 4*live; i++ {
+		e := q.pop()
+		e.at += rng.Float64() * 3600
+		e.seq = live + i
+		q.push(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.pop()
+		e.at += 1800
+		e.seq = 5*live + i
+		q.push(e)
+	}
+}

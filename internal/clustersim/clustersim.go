@@ -88,6 +88,7 @@ package clustersim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"vmdeflate/internal/mechanism"
 	"vmdeflate/internal/notify"
@@ -131,11 +132,41 @@ const (
 	ModePreemption
 )
 
+// PhaseTimings breaks one run's wall time down by engine phase. All
+// fields are cumulative across the run. Timings live here — reached
+// through Config.Timings — rather than in Result, because Result is
+// compared with reflect.DeepEqual by the differential suites and wall
+// times are the one legitimately nondeterministic output.
+type PhaseTimings struct {
+	// Propose and Commit split the arrival-placement batches: the
+	// parallel side-effect-free proposal phase versus the serial
+	// trace-order commit (with a single partition, all placement time
+	// counts as Commit).
+	Propose time.Duration
+	Commit  time.Duration
+	// Sample is the per-interval metering pass over the running set.
+	Sample time.Duration
+	// Reinflate is the departure/evacuation-driven reinflation passes.
+	Reinflate time.Duration
+}
+
 // Config parameterises one simulation run.
 type Config struct {
 	// Trace supplies VM arrivals, sizes, classes and utilisation. The
 	// trace is treated as immutable: concurrent engines may share one.
+	// Exactly one of Trace and Stream must be set.
 	Trace *trace.AzureTrace
+	// Stream supplies the same trace lazily: per-VM parameters are
+	// generated when the simulation reaches each arrival and
+	// utilisation samples are synthesized on demand through per-VM
+	// cursors, so resident memory is O(live VMs) instead of O(trace).
+	// Results are bit-for-bit identical to running the materialised
+	// form of the same stream through Trace (guarded by the streamed
+	// differential suite). A Stream is immutable: concurrent engines
+	// may share one. Streamed runs support deflation mode only; the
+	// preemption baseline needs whole-trace lookahead and keeps the
+	// eager API.
+	Stream *trace.Stream
 	// Mode selects deflation or the preemption baseline.
 	Mode Mode
 	// Policy and Mechanism configure deflation (ignored for preemption).
@@ -210,6 +241,16 @@ type Config struct {
 	// domain so latency-aware policies can read it. Nil disables both:
 	// non-SLO runs carry zero loads and unchanged results.
 	SLO *SLOConfig
+	// Timings, when set, receives the run's per-phase wall times
+	// (propose/commit/sample/reinflate). Collection adds two clock
+	// reads per timed section and is off when nil; it never influences
+	// any simulated outcome.
+	Timings *PhaseTimings
+	// useHeapQueue forces the reference container/heap event queue
+	// instead of the calendar queue. Results are identical either way
+	// (the queues implement one total order); the knob exists so the
+	// differential tests can prove exactly that through full runs.
+	useHeapQueue bool
 }
 
 // DefaultServerCapacity is the paper's server: 48 CPUs, 128 GB RAM.
@@ -218,7 +259,17 @@ func DefaultServerCapacity() resources.Vector {
 }
 
 func (c *Config) applyDefaults() error {
-	if c.Trace == nil || len(c.Trace.VMs) == 0 {
+	switch {
+	case c.Stream != nil && c.Trace != nil:
+		return fmt.Errorf("clustersim: set Trace or Stream, not both")
+	case c.Stream != nil:
+		if c.Stream.Len() == 0 {
+			return fmt.Errorf("clustersim: empty trace")
+		}
+		if c.Mode == ModePreemption {
+			return fmt.Errorf("clustersim: preemption mode requires an eager Trace (whole-trace lookahead)")
+		}
+	case c.Trace == nil || len(c.Trace.VMs) == 0:
 		return fmt.Errorf("clustersim: empty trace")
 	}
 	if c.Policy == nil {
@@ -380,6 +431,13 @@ func peakLowerBound(evs []event, serverCap resources.Vector) (int, error) {
 			cur = cur.Sub(size)
 		}
 	}
+	return serversForPeak(peak, serverCap), nil
+}
+
+// serversForPeak converts a peak committed-demand vector into the
+// per-dimension server-count lower bound. Shared by the eager and
+// streamed bounds so both round identically.
+func serversForPeak(peak, serverCap resources.Vector) int {
 	lb := 1
 	for _, k := range resources.Kinds {
 		if serverCap.Get(k) <= 0 {
@@ -390,7 +448,7 @@ func peakLowerBound(evs []event, serverCap resources.Vector) (int, error) {
 			lb = need
 		}
 	}
-	return lb, nil
+	return lb
 }
 
 // fullAllocationFeasible replays the trace at full allocations on n
@@ -493,6 +551,14 @@ func partitionPlan(cfg Config, nServers int) []int {
 			current[lvl] -= float64(e.vm.Cores)
 		}
 	}
+	return allocatePools(out, demand, nServers, levels)
+}
+
+// allocatePools fills out with per-server pool assignments sized
+// proportionally to the per-level peak demand: largest-remainder
+// allocation with at least one server per non-empty pool. Shared by the
+// eager and streamed partition planners.
+func allocatePools(out []int, demand []float64, nServers, levels int) []int {
 	var total float64
 	for _, d := range demand {
 		total += d
@@ -500,8 +566,6 @@ func partitionPlan(cfg Config, nServers int) []int {
 	if total == 0 {
 		return out
 	}
-	// Largest-remainder allocation with at least one server per non-empty
-	// pool.
 	counts := make([]int, levels)
 	assigned := 0
 	for l := 0; l < levels; l++ {

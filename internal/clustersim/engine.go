@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"vmdeflate/internal/cluster"
 	"vmdeflate/internal/hypervisor"
@@ -12,6 +13,7 @@ import (
 	"vmdeflate/internal/pricing"
 	"vmdeflate/internal/queueing"
 	"vmdeflate/internal/resources"
+	"vmdeflate/internal/stats"
 	"vmdeflate/internal/trace"
 )
 
@@ -37,6 +39,10 @@ type vmTracking struct {
 	// idx is the VM's position in the engine's running list (swap-remove
 	// bookkeeping for the sharded sample pass).
 	idx int
+	// cur reads this VM's utilisation incrementally on streamed runs
+	// (nil on eager runs, where rec.CPUUtil is materialised). Cursors
+	// are recycled through the engine's free list when the VM closes.
+	cur *trace.UtilCursor
 }
 
 // Engine executes one simulation run. It owns every piece of mutable
@@ -53,11 +59,26 @@ type Engine struct {
 
 	// Deflation-mode state.
 	mgr     *cluster.Manager
-	queue   *eventQueue
+	queue   eventQueue
 	running map[string]*vmTracking
 	runList []*vmTracking // the running set as a slice, for sharded sampling
 	res     *Result
 	horizon float64
+
+	// Streamed-trace state (nil/zero on eager runs). geo carries the
+	// compact sizing view between NewEngine and setupDeflation and is
+	// released before the event loop; synth/utilBuf serve admission-time
+	// P95 synthesis; cursorFree recycles utilisation cursors (with their
+	// embedded RNG state) across VM lifetimes — the per-run arena that
+	// keeps steady-state churn allocation-light.
+	geo        *streamGeometry
+	synth      *trace.SeriesSynth
+	utilBuf    []float64
+	cursorFree []*trace.UtilCursor
+
+	// sampleTime accumulates the sample passes' wall time when
+	// cfg.Timings is set.
+	sampleTime time.Duration
 
 	// Capacity-shock state: the provisioned servers' names (shock
 	// events address servers by index) and which of them are currently
@@ -99,23 +120,34 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
+	e := &Engine{cfg: cfg}
+	if cfg.Stream != nil {
+		// One Params pass builds the compact geometry every sizing and
+		// planning step below shares; it is released before the event
+		// loop starts (setupDeflation keeps only the arrival order).
+		e.geo = newStreamGeometry(cfg.Stream)
+	}
 	base := cfg.BaselineServers
 	if base <= 0 {
 		var err error
-		base, err = BaselineServerCount(cfg.Trace, cfg.ServerCapacity)
+		if cfg.Stream != nil {
+			base, err = streamBaselineServerCount(cfg.Stream, e.geo, cfg.ServerCapacity)
+		} else {
+			base, err = BaselineServerCount(cfg.Trace, cfg.ServerCapacity)
+		}
 		if err != nil {
 			return nil, err
 		}
 	}
-	nServers := int(math.Ceil(float64(base) / (1 + cfg.Overcommit)))
-	if nServers < 1 {
-		nServers = 1
+	e.nServers = int(math.Ceil(float64(base) / (1 + cfg.Overcommit)))
+	if e.nServers < 1 {
+		e.nServers = 1
 	}
-	shards := cfg.Shards
-	if shards < 1 {
-		shards = 1
+	e.shards = cfg.Shards
+	if e.shards < 1 {
+		e.shards = 1
 	}
-	return &Engine{cfg: cfg, nServers: nServers, shards: shards}, nil
+	return e, nil
 }
 
 // Run executes the simulation and returns its metrics.
@@ -142,9 +174,15 @@ func (e *Engine) setupDeflation() error {
 		ReferencePlacement:  cfg.ReferencePlacement,
 		ReinflateShards:     e.shards,
 		PlacementPartitions: cfg.PlacementPartitions,
+		CollectTimings:      cfg.Timings != nil,
 	}
 	e.mgr = cluster.NewManager(mgrCfg)
-	partitions := partitionPlan(cfg, e.nServers)
+	var partitions []int
+	if cfg.Stream != nil {
+		partitions = partitionPlanStream(cfg, cfg.Stream, e.geo, e.nServers)
+	} else {
+		partitions = partitionPlan(cfg, e.nServers)
+	}
 	e.serverNames = make([]string, e.nServers)
 	e.revoked = make([]bool, e.nServers)
 	for i := 0; i < e.nServers; i++ {
@@ -164,8 +202,27 @@ func (e *Engine) setupDeflation() error {
 		e.sloViolByLevel = make([]uint64, cfg.PriorityLevels)
 	}
 	e.running = map[string]*vmTracking{}
-	e.queue = newArrivalQueue(cfg.Trace)
-	e.horizon = cfg.Trace.Duration()
+	if cfg.Stream != nil {
+		// The live-set queue holds departures, samples and shocks for
+		// the currently running VMs only; arrivals stay latent in the
+		// stream. Size the calendar for a modest live set — it resizes
+		// itself as the population moves.
+		var inner eventQueue
+		if cfg.useHeapQueue {
+			inner = &heapQueue{}
+		} else {
+			inner = newCalendarQueue(1024, e.geo.maxEnd)
+		}
+		e.queue = newStreamQueue(cfg.Stream, e.geo.byStart, inner)
+		e.horizon = e.geo.maxEnd
+		e.synth = trace.NewSeriesSynth()
+		// Release the geometry: the queue owns byStart, and the other
+		// four columns (~32 bytes/VM) are dead weight through the run.
+		e.geo = nil
+	} else {
+		e.queue = newArrivalQueue(cfg.Trace, cfg.useHeapQueue)
+		e.horizon = cfg.Trace.Duration()
+	}
 	if trace.SampleInterval <= e.horizon {
 		e.queue.push(simEvent{at: trace.SampleInterval, kind: evSample})
 	}
@@ -198,7 +255,13 @@ func (e *Engine) runDeflation() (*Result, error) {
 		ev := e.queue.pop()
 		switch ev.kind {
 		case evSample:
-			e.samplePass(ev.at)
+			if cfg.Timings != nil {
+				t0 := time.Now()
+				e.samplePass(ev.at)
+				e.sampleTime += time.Since(t0)
+			} else {
+				e.samplePass(ev.at)
+			}
 			if next := ev.at + trace.SampleInterval; next <= e.horizon {
 				e.queue.push(simEvent{at: next, kind: evSample})
 			}
@@ -349,6 +412,13 @@ func (e *Engine) runDeflation() (*Result, error) {
 	if cfg.SLO != nil {
 		e.finishSLO()
 	}
+	if cfg.Timings != nil {
+		pt := e.mgr.PhaseTimings()
+		cfg.Timings.Propose += pt.Propose
+		cfg.Timings.Commit += pt.Commit
+		cfg.Timings.Reinflate += pt.Reinflate
+		cfg.Timings.Sample += e.sampleTime
+	}
 	return e.res, nil
 }
 
@@ -412,12 +482,12 @@ func (e *Engine) finishSLO() {
 // this run's own server count from Config.ShockConfig. Shocks
 // addressing servers beyond the provisioned count are dropped, so one
 // schedule replays against any cluster size.
-func (e *Engine) pushShocks(q *eventQueue) {
+func (e *Engine) pushShocks(q eventQueue) {
 	shocks := e.cfg.Shocks
 	if shocks == nil && e.cfg.ShockConfig != nil {
 		sc := *e.cfg.ShockConfig
 		if sc.Duration <= 0 {
-			sc.Duration = e.cfg.Trace.Duration()
+			sc.Duration = e.horizon
 		}
 		shocks = trace.GenerateShocks(sc, e.nServers)
 	}
@@ -453,6 +523,21 @@ func remainingDemand(rec *trace.VMRecord, t float64) float64 {
 	return d
 }
 
+// remainingDemandOf is remainingDemand for a tracked VM, reading
+// utilisation through the streamed cursor when one is bound. The cursor
+// produces the same sample bits as the materialised series, so both
+// forms charge a killed VM identically.
+func (e *Engine) remainingDemandOf(vt *vmTracking, t float64) float64 {
+	if vt.cur == nil {
+		return remainingDemand(vt.rec, t)
+	}
+	var d float64
+	for ts := t; ts < vt.rec.End; ts += trace.SampleInterval {
+		d += vt.cur.At(ts) / 100 * float64(vt.rec.Cores) * trace.SampleInterval
+	}
+	return d
+}
+
 // applyEvacuation folds one capacity shock's evacuation outcome into
 // the run state: relocated VMs swap to their new domains (and re-meter
 // allocation-based billing at the relocation allocation), killed VMs
@@ -473,7 +558,7 @@ func (e *Engine) applyEvacuation(out cluster.Evacuation, at float64) {
 		if pl.Err != nil {
 			e.res.ShockKills++
 			if out.VMs[i].Deflatable {
-				rem := remainingDemand(vt.rec, at)
+				rem := e.remainingDemandOf(vt, at)
 				vt.demand += rem
 				vt.lost += rem
 			}
@@ -557,6 +642,10 @@ func (e *Engine) closeVM(vt *vmTracking, at float64) {
 		e.sloViolByLevel[priorityLevel(vt.prio, e.cfg.PriorityLevels)] += uint64(vt.sloViol)
 		e.sloSampleCount += uint64(vt.sloSamples)
 	}
+	if vt.cur != nil {
+		e.cursorFree = append(e.cursorFree, vt.cur)
+		vt.cur = nil
+	}
 }
 
 // handleArrivals admits one same-timestamp batch of VMs through the
@@ -569,25 +658,46 @@ func (e *Engine) closeVM(vt *vmTracking, at float64) {
 // is exactly what the one-at-a-time engine observed.
 func (e *Engine) handleArrivals(evs []simEvent) {
 	cfg := e.cfg
+	streamed := cfg.Stream != nil
 	dcs := e.dcBuf[:0]
 	prios := e.prioBuf[:0]
 	for _, ev := range evs {
 		vm := ev.vm
 		deflatable := vm.Class == trace.Interactive
-		prio := policy.PriorityFromP95(vm.P95(), cfg.PriorityLevels)
+		var prio float64
 		dc := hypervisor.DomainConfig{
 			Name:       vm.ID,
 			Size:       vmSize(vm),
 			Deflatable: deflatable,
-			Priority:   prio,
 		}
-		if !deflatable {
-			dc.Priority = 0
-		}
-		if deflatable && cfg.SLO != nil {
-			// Seed the admission-time offered load so the VM's own
-			// admission pass (and any deflation it triggers) sees it.
-			dc.Load = vm.UtilAt(ev.at) / 100 * float64(vm.Cores)
+		switch {
+		case streamed && deflatable:
+			// The record carries no materialised series; synthesize it
+			// once into the reusable buffer for the P95 the priority
+			// quantises, reading the admission-instant load off sample 0
+			// (ev.at is exactly vm.Start). Same bits as the eager reads.
+			p := cfg.Stream.Params(ev.seq)
+			e.utilBuf = e.synth.Append(p, e.utilBuf[:0])
+			prio = policy.PriorityFromP95(stats.Percentile(e.utilBuf, 95), cfg.PriorityLevels)
+			dc.Priority = prio
+			if cfg.SLO != nil {
+				dc.Load = e.utilBuf[0] / 100 * float64(vm.Cores)
+			}
+		case streamed:
+			// On-demand VM: priority is forced to 0 below either way, and
+			// nothing downstream reads an on-demand VM's p95-derived prio
+			// (no meters, no SLO samples), so skip the synthesis.
+		default:
+			prio = policy.PriorityFromP95(vm.P95(), cfg.PriorityLevels)
+			dc.Priority = prio
+			if !deflatable {
+				dc.Priority = 0
+			}
+			if deflatable && cfg.SLO != nil {
+				// Seed the admission-time offered load so the VM's own
+				// admission pass (and any deflation it triggers) sees it.
+				dc.Load = vm.UtilAt(ev.at) / 100 * float64(vm.Cores)
+			}
 		}
 		dcs = append(dcs, dc)
 		prios = append(prios, prio)
@@ -619,6 +729,19 @@ func (e *Engine) handleArrivals(evs []simEvent) {
 				vt.meters[j].Observe(ev.at/3600, s.Rate(dcs[i].Size, prios[i], pl.Initial))
 			}
 		}
+		if streamed {
+			// Bind a utilisation cursor for the VM's lifetime, recycled
+			// through the free list so steady-state churn allocates
+			// nothing.
+			var cur *trace.UtilCursor
+			if n := len(e.cursorFree); n > 0 {
+				cur, e.cursorFree = e.cursorFree[n-1], e.cursorFree[:n-1]
+			} else {
+				cur = trace.NewUtilCursor()
+			}
+			cur.Reset(cfg.Stream.Params(ev.seq))
+			vt.cur = cur
+		}
 		e.addRunning(vm.ID, vt)
 		e.queue.push(simEvent{at: vm.End, kind: evDeparture, vm: vm, seq: ev.seq})
 	}
@@ -637,7 +760,7 @@ func sampleVM(vt *vmTracking, at float64, cfg Config, hist []uint64) {
 	if !vt.domain.Deflatable() {
 		return
 	}
-	util := vt.rec.UtilAt(at)
+	util := vmUtil(vt, at)
 	maxCores := vt.domain.MaxSize().Get(resources.CPU)
 	allocCores := vt.domain.Allocation().Get(resources.CPU)
 	demand := util / 100 * maxCores * trace.SampleInterval
@@ -674,6 +797,18 @@ func sampleVM(vt *vmTracking, at float64, cfg Config, hist []uint64) {
 		}
 		vt.meters[i].Observe(at/3600, rate)
 	}
+}
+
+// vmUtil reads a tracked VM's utilisation at time t: through the
+// streamed cursor when one is bound (samples advance monotonically, so
+// the cursor's forward reads are O(1) amortised), else from the
+// materialised series. The two produce identical bits — the cursor
+// replays the same generator from the same per-VM seed.
+func vmUtil(vt *vmTracking, at float64) float64 {
+	if vt.cur != nil {
+		return vt.cur.At(at)
+	}
+	return vt.rec.UtilAt(at)
 }
 
 // finishVM settles a departing (or shock-killed) VM's billing: each

@@ -71,22 +71,11 @@ type simEvent struct {
 	seq int
 }
 
-// eventQueue is a container/heap-backed pending-event set. Unlike the
-// old approach — materialise 2N events in one slice and sort it per run
-// — the queue admits lazily scheduled events (departures are only
-// scheduled for VMs that were actually admitted, samples reschedule
-// themselves), so a run's live set stays proportional to the pending
-// horizon rather than the whole trace.
-type eventQueue struct {
-	evs []simEvent
-}
-
-// Len, Less, Swap, Push and Pop implement heap.Interface; the ordering
-// is (time, kind, seq) with the kind ranking documented on eventKind.
-func (q *eventQueue) Len() int { return len(q.evs) }
-
-func (q *eventQueue) Less(i, j int) bool {
-	a, b := q.evs[i], q.evs[j]
+// eventLess is the strict total event order: (time, kind, seq), with
+// the kind ranking documented on eventKind. Every queue implementation
+// delivers exactly this order, which is what lets them substitute for
+// one another without perturbing a single result bit.
+func eventLess(a, b simEvent) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -96,11 +85,49 @@ func (q *eventQueue) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) Swap(i, j int) { q.evs[i], q.evs[j] = q.evs[j], q.evs[i] }
+// eventQueue is the pending-event set: push schedules, pop/peek deliver
+// in (time, kind, seq) order. Two interchangeable implementations
+// exist — heapQueue (container/heap, the original and the property-test
+// reference) and calendarQueue (O(1) amortized, the default) — plus
+// streamQueue, which overlays lazily generated arrivals on a live-set
+// queue for streamed traces. Unlike the pre-queue approach —
+// materialise 2N events in one slice and sort it per run — all of them
+// admit lazily scheduled events (departures are only scheduled for VMs
+// that were actually admitted, samples reschedule themselves), so a
+// run's live set stays proportional to the pending horizon rather than
+// the whole trace.
+type eventQueue interface {
+	// push schedules an event.
+	push(simEvent)
+	// pop removes and returns the next event in (time, kind, seq) order.
+	pop() simEvent
+	// peek returns the next event without removing it. Callers must
+	// check empty() first. The engine uses it to coalesce runs of
+	// same-timestamp departures/arrivals/revocations into one batch.
+	peek() simEvent
+	// empty reports whether any events remain.
+	empty() bool
+}
 
-func (q *eventQueue) Push(x any) { q.evs = append(q.evs, x.(simEvent)) }
+// heapQueue is the container/heap-backed eventQueue: O(log n) push/pop.
+// It remains as the differential reference for calendarQueue (see
+// Config.useHeapQueue and the randomized property test) — any ordering
+// bug in the calendar shows up as a bit-level divergence against it.
+type heapQueue struct {
+	evs []simEvent
+}
 
-func (q *eventQueue) Pop() any {
+// Len, Less, Swap, Push and Pop implement heap.Interface; the ordering
+// is eventLess.
+func (q *heapQueue) Len() int { return len(q.evs) }
+
+func (q *heapQueue) Less(i, j int) bool { return eventLess(q.evs[i], q.evs[j]) }
+
+func (q *heapQueue) Swap(i, j int) { q.evs[i], q.evs[j] = q.evs[j], q.evs[i] }
+
+func (q *heapQueue) Push(x any) { q.evs = append(q.evs, x.(simEvent)) }
+
+func (q *heapQueue) Pop() any {
 	old := q.evs
 	n := len(old)
 	e := old[n-1]
@@ -108,29 +135,32 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
-// push schedules an event.
-func (q *eventQueue) push(e simEvent) { heap.Push(q, e) }
+func (q *heapQueue) push(e simEvent) { heap.Push(q, e) }
 
-// pop removes and returns the next event in (time, kind, seq) order.
-func (q *eventQueue) pop() simEvent { return heap.Pop(q).(simEvent) }
+func (q *heapQueue) pop() simEvent { return heap.Pop(q).(simEvent) }
 
-// peek returns the next event without removing it. Callers must check
-// empty() first. The engine uses it to coalesce runs of same-timestamp
-// departures into one batched removal.
-func (q *eventQueue) peek() simEvent { return q.evs[0] }
+func (q *heapQueue) peek() simEvent { return q.evs[0] }
 
-// empty reports whether any events remain.
-func (q *eventQueue) empty() bool { return len(q.evs) == 0 }
+func (q *heapQueue) empty() bool { return len(q.evs) == 0 }
 
-// newArrivalQueue seeds a queue with one arrival per trace VM. Departure
-// events are scheduled by the engine when (and only when) a VM is
-// admitted, and the first sample event is scheduled by the run loop.
-func newArrivalQueue(tr *trace.AzureTrace) *eventQueue {
-	q := &eventQueue{evs: make([]simEvent, 0, len(tr.VMs))}
-	for i, vm := range tr.VMs {
-		q.evs = append(q.evs, simEvent{at: vm.Start, kind: evArrival, vm: vm, seq: i})
+// newArrivalQueue seeds a queue with one arrival per trace VM.
+// Departure events are scheduled by the engine when (and only when) a
+// VM is admitted, and the first sample event is scheduled by the run
+// loop. useHeap selects the reference heap implementation instead of
+// the calendar queue.
+func newArrivalQueue(tr *trace.AzureTrace, useHeap bool) eventQueue {
+	if useHeap {
+		q := &heapQueue{evs: make([]simEvent, 0, len(tr.VMs))}
+		for i, vm := range tr.VMs {
+			q.evs = append(q.evs, simEvent{at: vm.Start, kind: evArrival, vm: vm, seq: i})
+		}
+		heap.Init(q)
+		return q
 	}
-	heap.Init(q)
+	q := newCalendarQueue(len(tr.VMs), tr.Duration())
+	for i, vm := range tr.VMs {
+		q.push(simEvent{at: vm.Start, kind: evArrival, vm: vm, seq: i})
+	}
 	return q
 }
 
@@ -144,8 +174,10 @@ type event struct {
 }
 
 // buildEvents materialises and sorts the full arrival/departure
-// sequence. Simulation runs use eventQueue instead; this remains for
-// the multi-pass feasibility bound and the partition planner.
+// sequence. Simulation runs use an eventQueue instead; this remains for
+// the multi-pass feasibility bound and the partition planner on eager
+// traces (streamed runs use streamGeometry's merge walk, which replays
+// this exact order without materialising the event slice).
 func buildEvents(tr *trace.AzureTrace) []event {
 	evs := make([]event, 0, 2*len(tr.VMs))
 	for _, vm := range tr.VMs {

@@ -7,12 +7,21 @@ import (
 )
 
 // popAll drains the queue.
-func popAll(q *eventQueue) []simEvent {
+func popAll(q eventQueue) []simEvent {
 	var out []simEvent
 	for !q.empty() {
 		out = append(out, q.pop())
 	}
 	return out
+}
+
+// queueImpls enumerates the interchangeable eventQueue implementations;
+// every ordering test runs against each.
+func queueImpls() map[string]func() eventQueue {
+	return map[string]func() eventQueue{
+		"heap":     func() eventQueue { return &heapQueue{} },
+		"calendar": func() eventQueue { return newCalendarQueue(4, 1000) },
+	}
 }
 
 func TestEventQueueOrdering(t *testing.T) {
@@ -92,27 +101,29 @@ func TestEventQueueOrdering(t *testing.T) {
 			},
 		},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			q := &eventQueue{}
-			for _, e := range tc.push {
-				q.push(e)
-			}
-			got := popAll(q)
-			if len(got) != len(tc.want) {
-				t.Fatalf("popped %d events, want %d", len(got), len(tc.want))
-			}
-			for i, g := range got {
-				w := tc.want[i]
-				if g.at != w.at || g.kind != w.kind || g.seq != w.seq {
-					t.Errorf("event[%d] = (t=%g %v seq=%d), want (t=%g %v seq=%d)",
-						i, g.at, g.kind, g.seq, w.at, w.kind, w.seq)
+	for implName, mk := range queueImpls() {
+		for _, tc := range cases {
+			t.Run(implName+"/"+tc.name, func(t *testing.T) {
+				q := mk()
+				for _, e := range tc.push {
+					q.push(e)
 				}
-				if (g.vm == nil) != (w.vm == nil) || (g.vm != nil && g.vm.ID != w.vm.ID) {
-					t.Errorf("event[%d] vm mismatch", i)
+				got := popAll(q)
+				if len(got) != len(tc.want) {
+					t.Fatalf("popped %d events, want %d", len(got), len(tc.want))
 				}
-			}
-		})
+				for i, g := range got {
+					w := tc.want[i]
+					if g.at != w.at || g.kind != w.kind || g.seq != w.seq {
+						t.Errorf("event[%d] = (t=%g %v seq=%d), want (t=%g %v seq=%d)",
+							i, g.at, g.kind, g.seq, w.at, w.kind, w.seq)
+					}
+					if (g.vm == nil) != (w.vm == nil) || (g.vm != nil && g.vm.ID != w.vm.ID) {
+						t.Errorf("event[%d] vm mismatch", i)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -123,23 +134,25 @@ func TestNewArrivalQueue(t *testing.T) {
 		{ID: "tied-c", Start: 100, End: 300},
 		{ID: "early", Start: 0, End: 200},
 	}}
-	got := popAll(newArrivalQueue(tr))
-	wantIDs := []string{"early", "tied-b", "tied-c", "late"}
-	if len(got) != len(wantIDs) {
-		t.Fatalf("events = %d, want %d", len(got), len(wantIDs))
-	}
-	for i, e := range got {
-		if e.kind != evArrival {
-			t.Errorf("event[%d] kind = %v, want arrival", i, e.kind)
+	for _, useHeap := range []bool{false, true} {
+		got := popAll(newArrivalQueue(tr, useHeap))
+		wantIDs := []string{"early", "tied-b", "tied-c", "late"}
+		if len(got) != len(wantIDs) {
+			t.Fatalf("useHeap=%v: events = %d, want %d", useHeap, len(got), len(wantIDs))
 		}
-		if e.vm.ID != wantIDs[i] {
-			t.Errorf("event[%d] = %s, want %s", i, e.vm.ID, wantIDs[i])
+		for i, e := range got {
+			if e.kind != evArrival {
+				t.Errorf("useHeap=%v: event[%d] kind = %v, want arrival", useHeap, i, e.kind)
+			}
+			if e.vm.ID != wantIDs[i] {
+				t.Errorf("useHeap=%v: event[%d] = %s, want %s", useHeap, i, e.vm.ID, wantIDs[i])
+			}
 		}
-	}
-	// seq must be the trace index so equal-time events replay in trace
-	// order: tied-b (index 1) before tied-c (index 2).
-	if got[1].seq != 1 || got[2].seq != 2 {
-		t.Errorf("tie seqs = %d,%d, want 1,2", got[1].seq, got[2].seq)
+		// seq must be the trace index so equal-time events replay in trace
+		// order: tied-b (index 1) before tied-c (index 2).
+		if got[1].seq != 1 || got[2].seq != 2 {
+			t.Errorf("useHeap=%v: tie seqs = %d,%d, want 1,2", useHeap, got[1].seq, got[2].seq)
+		}
 	}
 }
 

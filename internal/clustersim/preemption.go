@@ -142,7 +142,8 @@ func (e *Engine) runPreemption() (*Result, error) {
 		return best
 	}
 
-	queue := newArrivalQueue(cfg.Trace)
+	queue := newArrivalQueue(cfg.Trace, cfg.useHeapQueue)
+	e.horizon = cfg.Trace.Duration() // pushShocks defaults a generated schedule to it
 	e.pushShocks(queue)
 	for !queue.empty() {
 		ev := queue.pop()

@@ -28,7 +28,6 @@ func testShockConfig(seed int64) *trace.ShockConfig {
 func TestShockEventOrdering(t *testing.T) {
 	vm := &trace.VMRecord{ID: "vm"}
 	sh := &trace.CapacityShock{Server: 0}
-	q := &eventQueue{}
 	push := []simEvent{
 		{at: 100, kind: evArrival, vm: vm},
 		{at: 100, kind: evResize, shock: sh},
@@ -37,14 +36,17 @@ func TestShockEventOrdering(t *testing.T) {
 		{at: 100, kind: evDeparture, vm: vm},
 		{at: 100, kind: evSample},
 	}
-	for _, e := range push {
-		q.push(e)
-	}
 	want := []eventKind{evSample, evDeparture, evRestore, evRevoke, evResize, evArrival}
-	for i, k := range want {
-		got := q.pop()
-		if got.kind != k {
-			t.Fatalf("pop %d: kind %v, want %v", i, got.kind, k)
+	for implName, mk := range queueImpls() {
+		q := mk()
+		for _, e := range push {
+			q.push(e)
+		}
+		for i, k := range want {
+			got := q.pop()
+			if got.kind != k {
+				t.Fatalf("%s: pop %d: kind %v, want %v", implName, i, got.kind, k)
+			}
 		}
 	}
 }

@@ -243,6 +243,20 @@ func firstError(errs []error) error {
 // results are written into position-indexed slots — so the output is
 // bit-for-bit identical whether Workers is 1 or GOMAXPROCS.
 func SweepGrid(tr *trace.AzureTrace, strategies []string, overcommitPcts []float64, opts Options) ([]*SweepResult, error) {
+	return sweepGrid(tr, nil, strategies, overcommitPcts, opts)
+}
+
+// SweepGridStream is SweepGrid over a streaming trace: every grid point
+// runs with Config.Stream set, so the sweep never materialises the
+// trace — each concurrent engine synthesises its own arrivals from the
+// shared read-only stream. Results are bit-for-bit those of SweepGrid
+// over s.Materialize() (the streamed differential suite's guarantee).
+// The preemption baseline needs whole-trace lookahead and is rejected.
+func SweepGridStream(s *trace.Stream, strategies []string, overcommitPcts []float64, opts Options) ([]*SweepResult, error) {
+	return sweepGrid(nil, s, strategies, overcommitPcts, opts)
+}
+
+func sweepGrid(tr *trace.AzureTrace, s *trace.Stream, strategies []string, overcommitPcts []float64, opts Options) ([]*SweepResult, error) {
 	if len(strategies) == 0 || len(overcommitPcts) == 0 {
 		return nil, fmt.Errorf("clustersim: empty sweep grid")
 	}
@@ -252,7 +266,11 @@ func SweepGrid(tr *trace.AzureTrace, strategies []string, overcommitPcts []float
 	baseline := opts.BaselineServers
 	if baseline <= 0 {
 		var err error
-		baseline, err = BaselineServerCount(tr, DefaultServerCapacity())
+		if s != nil {
+			baseline, err = BaselineServerCountStream(s, DefaultServerCapacity())
+		} else {
+			baseline, err = BaselineServerCount(tr, DefaultServerCapacity())
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -265,6 +283,7 @@ func SweepGrid(tr *trace.AzureTrace, strategies []string, overcommitPcts []float
 	runJobs(jobs, opts.workers(jobs), func(i int) {
 		strategy, pct := strategies[i/nOC], overcommitPcts[i%nOC]
 		cfg := strategyConfig(tr, strategy, baseline, pct/100)
+		cfg.Stream = s
 		cfg.Notify = opts.Notify
 		cfg.Shards = opts.Shards
 		cfg.PlacementPartitions = opts.PlacementPartitions

@@ -1,9 +1,7 @@
 package trace
 
 import (
-	"fmt"
 	"math"
-	"math/rand"
 )
 
 // ClassParams control the synthetic utilisation process for one workload
@@ -98,7 +96,7 @@ var memPerCoreOptions = []struct {
 	{0.75, 0.15}, {1.75, 0.25}, {2, 0.20}, {4, 0.28}, {8, 0.12},
 }
 
-func pickWeightedCores(rng *rand.Rand) int {
+func pickWeightedCores(rng floatSource) int {
 	r := rng.Float64()
 	var c float64
 	for _, o := range coreOptions {
@@ -110,7 +108,7 @@ func pickWeightedCores(rng *rand.Rand) int {
 	return coreOptions[len(coreOptions)-1].cores
 }
 
-func pickWeightedMemPerCore(rng *rand.Rand) float64 {
+func pickWeightedMemPerCore(rng floatSource) float64 {
 	r := rng.Float64()
 	var c float64
 	for _, o := range memPerCoreOptions {
@@ -122,7 +120,7 @@ func pickWeightedMemPerCore(rng *rand.Rand) float64 {
 	return memPerCoreOptions[len(memPerCoreOptions)-1].gb
 }
 
-func pickClass(rng *rand.Rand, mix [3]float64) VMClass {
+func pickClass(rng floatSource, mix [3]float64) VMClass {
 	total := mix[0] + mix[1] + mix[2]
 	if total <= 0 {
 		return Unknown
@@ -139,7 +137,7 @@ func pickClass(rng *rand.Rand, mix [3]float64) VMClass {
 
 // pickLifetime draws a VM lifetime (seconds): a mixture of short-lived,
 // day-scale, and trace-long VMs, echoing the Azure lifetime distribution.
-func pickLifetime(rng *rand.Rand, horizon float64) float64 {
+func pickLifetime(rng floatSource, horizon float64) float64 {
 	r := rng.Float64()
 	var lt float64
 	switch {
@@ -159,116 +157,15 @@ func pickLifetime(rng *rand.Rand, horizon float64) float64 {
 	return lt
 }
 
-// GenerateAzure builds a synthetic Azure-like trace. The generation is
-// deterministic for a given configuration.
+// GenerateAzure builds a synthetic Azure-like trace: the eagerly
+// materialised form of NewAzureStream(cfg). The generation is
+// deterministic for a given configuration, and bit-for-bit identical to
+// reading the same VMs through the stream — the streaming form is the
+// generator; this wrapper exists as the differential oracle and for
+// consumers that want whole-trace slices (sweeps, CSV export, plots).
 func GenerateAzure(cfg AzureConfig) *AzureTrace {
 	if cfg.NumVMs <= 0 {
 		return &AzureTrace{}
 	}
-	if cfg.Duration < SampleInterval {
-		cfg.Duration = SampleInterval
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	t := &AzureTrace{VMs: make([]*VMRecord, 0, cfg.NumVMs)}
-	for i := 0; i < cfg.NumVMs; i++ {
-		class := pickClass(rng, cfg.ClassMix)
-		cores := pickWeightedCores(rng)
-		memMB := float64(cores) * pickWeightedMemPerCore(rng) * 1024
-		// Cap at 96 GB: the dataset's VM sizes all fit the paper's
-		// 48-CPU/128-GB servers with headroom.
-		if memMB > 98304 {
-			memMB = 98304
-		}
-		life := pickLifetime(rng, cfg.Duration)
-		// Near-stationary arrival process: the nominal interval starts
-		// in [-life, Duration] and is clipped to the horizon, so cluster
-		// concurrency neither ramps up from zero nor spikes mid-trace.
-		// Start times carry a diurnal density (accept-reject against
-		// 1 + A*sin) so short- and medium-lived VMs concentrate in
-		// daytime hours: the cluster, sized for the daily peak, runs
-		// below peak much of the time, as in the real Azure dataset.
-		start0 := -life + rng.Float64()*(cfg.Duration+life)
-		const diurnalArrivalAmp = 0.8
-		for rng.Float64() > (1+diurnalArrivalAmp*math.Sin(2*math.Pi*start0/86400))/(1+diurnalArrivalAmp) {
-			start0 = -life + rng.Float64()*(cfg.Duration+life)
-		}
-		start := math.Max(0, start0)
-		end := math.Min(cfg.Duration, start0+life)
-		if end-start < SampleInterval {
-			end = start + SampleInterval
-			if end > cfg.Duration {
-				start = cfg.Duration - SampleInterval
-				end = cfg.Duration
-			}
-		}
-		vm := &VMRecord{
-			ID:       fmt.Sprintf("vm-%06d", i),
-			Class:    class,
-			Cores:    cores,
-			MemoryMB: memMB,
-			Start:    start,
-			End:      end,
-		}
-		vm.CPUUtil = synthesizeUtil(rng, cfg.Params[class], start, end-start)
-		t.VMs = append(t.VMs, vm)
-	}
-	return t
-}
-
-// synthesizeUtil generates one utilisation series with the four-component
-// process described on ClassParams.
-func synthesizeUtil(rng *rand.Rand, p ClassParams, start, life float64) []float64 {
-	n := int(math.Ceil(life / SampleInterval))
-	if n < 1 {
-		n = 1
-	}
-	base := math.Exp(p.BaseLogMean + p.BaseLogStd*rng.NormFloat64())
-	if base > 90 {
-		base = 90
-	}
-	amp := p.DiurnalAmpMin + rng.Float64()*(p.DiurnalAmpMax-p.DiurnalAmpMin)
-	phase := rng.Float64() * 86400
-	// Per-VM burst propensity: scale the class burst probability by a
-	// random factor so some VMs are consistently calm and others spiky,
-	// producing the p95 spread of Figure 8.
-	burstScale := math.Exp(0.8 * rng.NormFloat64())
-	burstProb := p.BurstProb * burstScale
-	if burstProb > 0.5 {
-		burstProb = 0.5
-	}
-
-	out := make([]float64, n)
-	var noise float64
-	burstLeft := 0
-	burstLevel := 0.0
-	for i := 0; i < n; i++ {
-		ts := start + float64(i)*SampleInterval
-		diurnal := 1 + amp*math.Sin(2*math.Pi*(ts+phase)/86400)
-		noise = p.NoiseCorr*noise + rng.NormFloat64()*p.NoiseStd
-		u := base*diurnal + noise
-
-		if burstLeft > 0 {
-			burstLeft--
-			if burstLevel > u {
-				u = burstLevel
-			}
-		} else if rng.Float64() < burstProb {
-			if p.BurstMeanLen > 1 {
-				burstLeft = 1 + int(rng.ExpFloat64()*(p.BurstMeanLen-1))
-			}
-			burstLevel = p.BurstLevelMin + rng.Float64()*(p.BurstLevelMax-p.BurstLevelMin)
-			if burstLevel > u {
-				u = burstLevel
-			}
-		}
-
-		if u < 0.5 {
-			u = 0.5
-		}
-		if u > 100 {
-			u = 100
-		}
-		out[i] = u
-	}
-	return out
+	return NewAzureStream(cfg).Materialize()
 }

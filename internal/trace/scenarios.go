@@ -3,7 +3,6 @@ package trace
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // Scenario names a synthetic workload shape for the cluster simulator.
@@ -89,29 +88,18 @@ func DefaultScenarioConfig(kind Scenario) ScenarioConfig {
 	return ScenarioConfig{Kind: kind, NumVMs: 1000, Duration: 3 * 86400, Seed: 1}
 }
 
-// GenerateScenario builds the synthetic trace for cfg.
+// GenerateScenario builds the synthetic trace for cfg: the eagerly
+// materialised form of NewStream(cfg), bit-for-bit identical to reading
+// the same VMs through the stream.
 func GenerateScenario(cfg ScenarioConfig) (*AzureTrace, error) {
 	if cfg.NumVMs <= 0 {
 		return &AzureTrace{}, nil
 	}
-	if cfg.Duration < SampleInterval {
-		cfg.Duration = SampleInterval
+	s, err := NewStream(cfg)
+	if err != nil {
+		return nil, err
 	}
-	switch cfg.Kind {
-	case "", ScenarioAzure:
-		az := DefaultAzureConfig()
-		az.NumVMs = cfg.NumVMs
-		az.Duration = cfg.Duration
-		az.Seed = cfg.Seed
-		return GenerateAzure(az), nil
-	case ScenarioDiurnal:
-		return generateDiurnal(cfg), nil
-	case ScenarioBursty:
-		return generateBursty(cfg), nil
-	case ScenarioHeavyTail:
-		return generateHeavyTail(cfg), nil
-	}
-	return nil, fmt.Errorf("trace: unknown scenario %q", cfg.Kind)
+	return s.Materialize(), nil
 }
 
 // clipLifetime bounds a lifetime into [SampleInterval, horizon] and the
@@ -136,131 +124,3 @@ func clipWindow(start0, life, horizon float64) (start, end float64) {
 	return start, end
 }
 
-// makeVM assembles one record, synthesising its utilisation series from
-// the class parameters.
-func makeVM(rng *rand.Rand, id int, class VMClass, p ClassParams, start, end float64) *VMRecord {
-	cores := pickWeightedCores(rng)
-	memMB := float64(cores) * pickWeightedMemPerCore(rng) * 1024
-	if memMB > 98304 {
-		memMB = 98304
-	}
-	vm := &VMRecord{
-		ID:       fmt.Sprintf("vm-%06d", id),
-		Class:    class,
-		Cores:    cores,
-		MemoryMB: memMB,
-		Start:    start,
-		End:      end,
-	}
-	vm.CPUUtil = synthesizeUtil(rng, p, start, end-start)
-	return vm
-}
-
-// generateDiurnal produces a trace whose arrival density and per-VM
-// utilisation both follow a strong 24h cycle: arrival times are drawn
-// by accept-reject against 1 + A*sin with A close to 1, and the class
-// parameters carry wide diurnal amplitude bands.
-func generateDiurnal(cfg ScenarioConfig) *AzureTrace {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	base := DefaultAzureConfig()
-	params := base.Params
-	for c := range params {
-		params[c].DiurnalAmpMin = 0.6
-		params[c].DiurnalAmpMax = 1.0
-	}
-	const arrivalAmp = 0.95
-	t := &AzureTrace{VMs: make([]*VMRecord, 0, cfg.NumVMs)}
-	for i := 0; i < cfg.NumVMs; i++ {
-		class := pickClass(rng, base.ClassMix)
-		life := pickLifetime(rng, cfg.Duration)
-		start0 := -life + rng.Float64()*(cfg.Duration+life)
-		for rng.Float64() > (1+arrivalAmp*math.Sin(2*math.Pi*start0/86400))/(1+arrivalAmp) {
-			start0 = -life + rng.Float64()*(cfg.Duration+life)
-		}
-		start, end := clipWindow(start0, life, cfg.Duration)
-		t.VMs = append(t.VMs, makeVM(rng, i, class, params[class], start, end))
-	}
-	return t
-}
-
-// generateBursty produces a calm Poisson background with a handful of
-// flash-crowd windows: roughly a third of all VMs are short-lived, hot
-// interactive instances launched within ~30-minute windows (one window
-// per trace day), the arrival pattern of an autoscaler chasing a viral
-// event.
-func generateBursty(cfg ScenarioConfig) *AzureTrace {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	base := DefaultAzureConfig()
-	// Flash-crowd VMs run hot from launch: high floor, frequent bursts.
-	crowd := ClassParams{
-		BaseLogMean: math.Log(45), BaseLogStd: 0.3,
-		DiurnalAmpMin: 0, DiurnalAmpMax: 0.1,
-		NoiseStd: 6, NoiseCorr: 0.5,
-		BurstProb: 0.15, BurstMeanLen: 4,
-		BurstLevelMin: 70, BurstLevelMax: 100,
-	}
-	days := int(cfg.Duration/86400) + 1
-	windows := make([]float64, 0, days)
-	for d := 0; d < days; d++ {
-		// One crowd per day at a random daytime hour.
-		at := float64(d)*86400 + 8*3600 + rng.Float64()*10*3600
-		if at < cfg.Duration {
-			windows = append(windows, at)
-		}
-	}
-	nCrowd := cfg.NumVMs / 3
-	if len(windows) == 0 {
-		nCrowd = 0
-	}
-	t := &AzureTrace{VMs: make([]*VMRecord, 0, cfg.NumVMs)}
-	for i := 0; i < cfg.NumVMs; i++ {
-		if i < nCrowd {
-			// Flash-crowd member: arrives inside a window, lives 15-90 min.
-			w := windows[i%len(windows)]
-			start0 := w + rng.Float64()*1800
-			life := 900 + rng.Float64()*4500
-			start, end := clipWindow(start0, life, cfg.Duration)
-			t.VMs = append(t.VMs, makeVM(rng, i, Interactive, crowd, start, end))
-			continue
-		}
-		// Background: uniform (Poisson-like) arrivals, standard mix.
-		class := pickClass(rng, base.ClassMix)
-		life := pickLifetime(rng, cfg.Duration)
-		start0 := -life + rng.Float64()*(cfg.Duration+life)
-		start, end := clipWindow(start0, life, cfg.Duration)
-		t.VMs = append(t.VMs, makeVM(rng, i, class, base.Params[class], start, end))
-	}
-	return t
-}
-
-// generateHeavyTail draws lifetimes from a Pareto distribution with
-// shape alpha=1.2 and scale of 15 minutes — most VMs die within the
-// hour, a fat tail survives for days — and gives the long-lived tail
-// spikier utilisation so reclamation keeps meeting entrenched
-// residents.
-func generateHeavyTail(cfg ScenarioConfig) *AzureTrace {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	base := DefaultAzureConfig()
-	const (
-		alpha = 1.2
-		scale = 900.0
-	)
-	t := &AzureTrace{VMs: make([]*VMRecord, 0, cfg.NumVMs)}
-	for i := 0; i < cfg.NumVMs; i++ {
-		class := pickClass(rng, base.ClassMix)
-		life := scale * math.Pow(1-rng.Float64(), -1/alpha)
-		if life > cfg.Duration {
-			life = cfg.Duration
-		}
-		start0 := -life + rng.Float64()*(cfg.Duration+life)
-		start, end := clipWindow(start0, life, cfg.Duration)
-		p := base.Params[class]
-		if life > 86400 {
-			// The entrenched tail bursts harder and longer.
-			p.BurstProb *= 2
-			p.BurstMeanLen *= 2
-		}
-		t.VMs = append(t.VMs, makeVM(rng, i, class, p, start, end))
-	}
-	return t
-}

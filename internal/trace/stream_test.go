@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testStreams(t *testing.T, n int) map[string]*Stream {
+	t.Helper()
+	out := make(map[string]*Stream)
+	for _, sc := range Scenarios() {
+		cfg := DefaultScenarioConfig(sc)
+		cfg.NumVMs = n
+		s, err := NewStream(cfg)
+		if err != nil {
+			t.Fatalf("NewStream(%s): %v", sc, err)
+		}
+		out[string(sc)] = s
+	}
+	return out
+}
+
+// TestMaterializeMatchesEagerGenerators pins the tentpole identity: the
+// eager generators delegate to Stream.Materialize, so reading VMs
+// through the stream and through the eager API must agree bit for bit —
+// metadata and every utilisation sample.
+func TestMaterializeMatchesEagerGenerators(t *testing.T) {
+	for _, sc := range Scenarios() {
+		cfg := DefaultScenarioConfig(sc)
+		cfg.NumVMs = 300
+		eager, err := GenerateScenario(cfg)
+		if err != nil {
+			t.Fatalf("GenerateScenario(%s): %v", sc, err)
+		}
+		s, err := NewStream(cfg)
+		if err != nil {
+			t.Fatalf("NewStream(%s): %v", sc, err)
+		}
+		if s.Len() != len(eager.VMs) {
+			t.Fatalf("%s: stream Len %d != eager %d", sc, s.Len(), len(eager.VMs))
+		}
+		for i, want := range eager.VMs {
+			got := s.Record(i)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: VM %d differs:\nstream %+v\neager  %+v", sc, i, got, want)
+			}
+		}
+	}
+}
+
+// TestParamsPureAndRandomAccess: Params is a pure function of (config,
+// index) — repeated and out-of-order reads return identical records.
+func TestParamsPureAndRandomAccess(t *testing.T) {
+	for name, s := range testStreams(t, 500) {
+		// Forward pass.
+		fwd := make([]VMParams, s.Len())
+		for i := range fwd {
+			fwd[i] = s.Params(i)
+		}
+		// Random-order re-read, interleaved with repeats.
+		rng := rand.New(rand.NewSource(7))
+		for k := 0; k < 2000; k++ {
+			i := rng.Intn(s.Len())
+			if got := s.Params(i); got != fwd[i] {
+				t.Fatalf("%s: Params(%d) changed on re-read:\n%+v\n%+v", name, i, got, fwd[i])
+			}
+		}
+	}
+}
+
+// TestUtilCursorMatchesSeries: a cursor reads, forward or backward, the
+// exact sample bits of the materialised series, and UtilAt's semantics
+// (zero outside [start, end), index clamp at the tail) carry over.
+func TestUtilCursorMatchesSeries(t *testing.T) {
+	for name, s := range testStreams(t, 50) {
+		cur := NewUtilCursor()
+		for i := 0; i < s.Len(); i++ {
+			p := s.Params(i)
+			rec := s.Record(i)
+			cur.Reset(p)
+			// Forward sweep over the lifetime, extending past End and
+			// before Start to pin the outside-window zeros, plus the exact
+			// UtilAt comparison at every probe.
+			for ts := p.Start - SampleInterval; ts < p.End+2*SampleInterval; ts += SampleInterval / 2 {
+				if got, want := cur.At(ts), rec.UtilAt(ts); got != want {
+					t.Fatalf("%s vm %d: cursor At(%g) = %v, want %v", name, i, ts, got, want)
+				}
+			}
+			// Backward reads replay from the seed; same bits required.
+			for ts := p.End - SampleInterval; ts >= p.Start; ts -= SampleInterval {
+				if got, want := cur.At(ts), rec.UtilAt(ts); got != want {
+					t.Fatalf("%s vm %d: backward At(%g) = %v, want %v", name, i, ts, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSeriesSynthReuse: one synthesizer reused across VMs produces the
+// same series as a fresh one per VM (the engine reuses a single synth
+// for every admission-time P95).
+func TestSeriesSynthReuse(t *testing.T) {
+	s := testStreams(t, 100)["heavytail"]
+	shared := NewSeriesSynth()
+	var buf []float64
+	for i := 0; i < s.Len(); i++ {
+		p := s.Params(i)
+		buf = shared.Append(p, buf[:0])
+		fresh := NewSeriesSynth().Append(p, nil)
+		if !reflect.DeepEqual(buf, fresh) {
+			t.Fatalf("vm %d: reused synth diverges from fresh", i)
+		}
+	}
+}
+
+// TestMaxEndMatchesEagerDuration: the streamed horizon equals the eager
+// trace's Duration — the engine substitutes one for the other.
+func TestMaxEndMatchesEagerDuration(t *testing.T) {
+	for name, s := range testStreams(t, 400) {
+		if got, want := s.MaxEnd(), s.Materialize().Duration(); got != want {
+			t.Fatalf("%s: MaxEnd %v != eager Duration %v", name, got, want)
+		}
+	}
+}
+
+// TestEagerBytesEstimateSane: the estimate is at least the raw sample
+// bytes — the floor of what a materialised trace must hold.
+func TestEagerBytesEstimateSane(t *testing.T) {
+	s := testStreams(t, 200)["azure"]
+	var samples uint64
+	for i := 0; i < s.Len(); i++ {
+		samples += uint64(s.Params(i).Samples())
+	}
+	if est := s.EagerBytesEstimate(); est < 8*samples {
+		t.Fatalf("EagerBytesEstimate %d below raw sample bytes %d", est, 8*samples)
+	}
+}
+
+// TestDurationMemoised: the cached Duration matches a direct max scan
+// and survives repeated calls.
+func TestDurationMemoised(t *testing.T) {
+	tr := testStreams(t, 300)["diurnal"].Materialize()
+	var want float64
+	for _, vm := range tr.VMs {
+		want = math.Max(want, vm.End)
+	}
+	if got := tr.Duration(); got != want {
+		t.Fatalf("Duration = %v, want %v", got, want)
+	}
+	if got := tr.Duration(); got != want {
+		t.Fatalf("second Duration = %v, want %v", got, want)
+	}
+}

@@ -15,6 +15,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"vmdeflate/internal/stats"
 )
@@ -194,9 +195,14 @@ func Peak(p95 float64) PeakClass {
 	}
 }
 
-// AzureTrace is a collection of VM records.
+// AzureTrace is a collection of VM records. Traces are treated as
+// immutable once built; callers that mutate VMs after the first
+// Duration call get stale cached values.
 type AzureTrace struct {
 	VMs []*VMRecord
+
+	durOnce sync.Once
+	dur     float64
 }
 
 // ByClass partitions the trace's VMs by workload class.
@@ -227,14 +233,18 @@ func (t *AzureTrace) ByPeak() map[PeakClass][]*VMRecord {
 }
 
 // Duration returns the time at which the last VM in the trace ends.
+// The scan runs once and is cached — simulation setup consults the
+// horizon repeatedly (event seeding, shock scheduling, sweep headers)
+// and at millions of VMs a per-call rescan is a measurable cost.
 func (t *AzureTrace) Duration() float64 {
-	var d float64
-	for _, vm := range t.VMs {
-		if vm.End > d {
-			d = vm.End
+	t.durOnce.Do(func() {
+		for _, vm := range t.VMs {
+			if vm.End > t.dur {
+				t.dur = vm.End
+			}
 		}
-	}
-	return d
+	})
+	return t.dur
 }
 
 // ContainerRecord is one container's row in an Alibaba-style trace. All
