@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench-scale-10m bench-matrix bench-revocation bench-slo bench ci
+.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench-scale-10m bench-matrix bench-revocation bench-slo bench-risk bench ci
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,11 @@ race:
 
 # Focused race shard over the partitioned propose/commit placement path
 # and the revocation churn suite: the phase workers, batch commits,
-# parallel dirty sync, capacity-shock evacuations and the engines
+# parallel dirty sync, capacity-shock evacuations, the risk-aware
+# (hazard-banded + headroom-gated) placement paths and the engines
 # driving them — a fast, explicit signal beside the full `race` run.
 race-placement:
-	$(GO) test -race -run 'Partition|PlaceVMs|Propose|Sharded|Preemption|Revo|Shock|Resize' ./internal/cluster ./internal/clustersim
+	$(GO) test -race -run 'Partition|PlaceVMs|Propose|Sharded|Preemption|Revo|Shock|Resize|Risk|Hazard|Headroom' ./internal/cluster ./internal/clustersim
 
 # One iteration of the 10k-VM sweep benchmarks: proves the parallel
 # engine end-to-end without the cost of a full benchmark session.
@@ -33,24 +34,26 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Sweep10k' -benchtime 1x .
 
 # Zero-allocation gate: the steady-state PlaceOn/Reinflate policy pass,
-# the partitioned batch-propose pass, the SLO-metered sample pass
-# (closed-form queueing math included) AND the calendar event queue's
-# steady-state churn must all report 0 allocs/op, or the build fails.
-# The awk gate names each required benchmark explicitly (matching on the
-# name with its -GOMAXPROCS suffix stripped), so a renamed or silently
-# skipped benchmark fails the build instead of shrinking the gate. The
+# the partitioned batch-propose pass (risk-blind AND hazard-banded with
+# the headroom gate active), the SLO-metered sample pass (closed-form
+# queueing math included) AND the calendar event queue's steady-state
+# churn must all report 0 allocs/op, or the build fails. The awk gate
+# names each required benchmark explicitly (matching on the name with
+# its -GOMAXPROCS suffix stripped), so a renamed or silently skipped
+# benchmark fails the build instead of shrinking the gate. The
 # benchmark output is kept in BENCH_allocs.txt for CI to archive.
 bench-allocs:
-	$(GO) test -run '^$$' -bench 'PolicyPassSteadyState|ProposeSteadyState' -benchmem ./internal/cluster | tee BENCH_allocs.txt
+	$(GO) test -run '^$$' -bench 'PolicyPassSteadyState|ProposeSteadyState|RiskProposeSteadyState' -benchmem ./internal/cluster | tee BENCH_allocs.txt
 	$(GO) test -run '^$$' -bench 'SamplePassSLOSteadyState|CalendarQueueSteadyState' -benchmem ./internal/clustersim | tee -a BENCH_allocs.txt
 	@awk 'BEGIN { want["BenchmarkPolicyPassSteadyState"]; want["BenchmarkProposeSteadyState"]; \
+			want["BenchmarkRiskProposeSteadyState"]; \
 			want["BenchmarkSamplePassSLOSteadyState"]; want["BenchmarkCalendarQueueSteadyState"] } \
 		/^Benchmark/ && $$(NF) == "allocs/op" { name = $$1; sub(/-[0-9]+$$/, "", name); \
 			if (name in want) { seen[name] = 1; allocs = $$(NF-1) + 0; \
 				if (allocs > 0) { failed = 1; print "FAIL: " name " allocates " allocs " allocs/op (want 0)" } } } \
 		END { for (n in want) if (!(n in seen)) { failed = 1; print "FAIL: benchmark " n " missing from output" } \
 		if (failed) exit 1; \
-		print "OK: policy + propose + SLO sample + calendar queue steady states at 0 allocs/op" }' BENCH_allocs.txt
+		print "OK: policy + propose (risk-blind + risk-aware) + SLO sample + calendar queue steady states at 0 allocs/op" }' BENCH_allocs.txt
 
 # Cloud-scale single-run smoke: one 50k-VM deflation run through the
 # capacity-indexed manager (sharded across all cores), reported to
@@ -94,8 +97,18 @@ bench-revocation:
 bench-slo:
 	$(GO) run ./cmd/benchreport -slo 50000 -sloout BENCH_slo.json
 
+# Revocation-risk frontier smoke: portfolio server mixes (sweeping the
+# cheap revocation-heavy spot slice) run risk-blind vs risk-aware —
+# hazard-banded placement plus forecast-headroom admission — under rack
+# shocks (BENCH_risk.json). Fails unless risk-aware strictly cuts
+# displaced downtime and SLO violation-seconds on every mix at
+# near-equal admitted revenue, cuts shock kills fleet-wide, and fleet
+# cost falls monotonically as the spot share grows.
+bench-risk:
+	$(GO) run ./cmd/benchreport -risk 4000 -riskout BENCH_risk.json
+
 # The full reproduction benchmark suite (all figures).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-ci: build vet race bench-smoke bench-allocs bench-scale bench-revocation bench-slo
+ci: build vet race bench-smoke bench-allocs bench-scale bench-revocation bench-slo bench-risk

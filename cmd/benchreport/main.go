@@ -24,6 +24,17 @@
 //	benchreport -matrix 100000 -matrixout BENCH_matrix.json
 //	                                # measured multi-core matrix: GOMAXPROCS x
 //	                                # shards x partitions with per-phase wall times
+//	benchreport -risk 4000 -riskout BENCH_risk.json
+//	                                # revocation-risk frontier: portfolio server
+//	                                # mixes run risk-blind vs risk-aware (hazard-
+//	                                # banded placement + forecast-headroom
+//	                                # admission) under rack shocks; gates that
+//	                                # risk-aware strictly cuts displaced downtime
+//	                                # and violation-seconds per mix at near-equal
+//	                                # admitted revenue, cuts shock kills
+//	                                # fleet-wide, and that fleet cost falls as
+//	                                # the spot share grows (the `make bench-risk`
+//	                                # artifact)
 //
 // The -scale mode runs one deflation-mode simulation at the given VM
 // count through the capacity-indexed manager — with the sample/
@@ -596,6 +607,209 @@ func runSLO(n, shards, partitions int, scenario string, seed int64, outPath stri
 	}
 }
 
+// riskFrontierPoint compares risk-blind and risk-aware placement at one
+// (portfolio mix, overcommitment) grid point of BENCH_risk.json. The
+// fleet cost is reported once: the shock schedule and the fleet are
+// pure functions of (config, mix), so blind and aware runs bill
+// identically by construction.
+type riskFrontierPoint struct {
+	Mix            string  `json:"mix"`
+	SpotFraction   float64 `json:"spot_fraction"`
+	OvercommitPct  float64 `json:"overcommit_pct"`
+	Servers        int     `json:"servers"`
+	FleetCost      float64 `json:"fleet_cost_core_hours"`
+	BlindKills     int     `json:"blind_shock_kills"`
+	AwareKills     int     `json:"aware_shock_kills"`
+	BlindDowntime  float64 `json:"blind_displaced_downtime_sec"`
+	AwareDowntime  float64 `json:"aware_displaced_downtime_sec"`
+	BlindViolSec   float64 `json:"blind_slo_violation_seconds"`
+	AwareViolSec   float64 `json:"aware_slo_violation_seconds"`
+	BlindRevenue   float64 `json:"blind_on_demand_revenue"`
+	AwareRevenue   float64 `json:"aware_on_demand_revenue"`
+	RevenueShare   float64 `json:"aware_revenue_share"`
+	RiskRejections int     `json:"aware_risk_rejections"`
+}
+
+// riskReport is the BENCH_risk.json schema.
+type riskReport struct {
+	VMs           int                 `json:"vms"`
+	Scenario      string              `json:"scenario"`
+	Shocks        string              `json:"shocks"`
+	HeadroomScale float64             `json:"headroom_scale"`
+	GoMaxProcs    int                 `json:"gomaxprocs"`
+	PeakHeapBytes uint64              `json:"peak_heap_bytes"`
+	WallSeconds   float64             `json:"wall_seconds"`
+	Points        []riskFrontierPoint `json:"points"`
+}
+
+// The risk-frontier gate's equal-revenue bar: per mix (summed over the
+// overcommitment points) the risk-aware run must retain at least this
+// share of the risk-blind run's admitted on-demand-equivalent revenue
+// while strictly winning on displaced downtime and SLO
+// violation-seconds. Measured at the smoke's scale (4000 heavy-tail
+// VMs, rack shocks, headroom 0.5): shares run ~0.87 (spot-heavy) to
+// ~0.95 (spot-light).
+const riskRevenueShareMin = 0.8
+
+// riskHeadroomScale is the forecast-to-reserve multiplier the smoke
+// runs with — deliberately below 1: the analytic outage fraction is an
+// upper bound (it ignores the MaxOutFraction cap), and on rack shocks
+// a full-bound reserve trades far more admissions than the kills it
+// prevents are worth at this scale.
+const riskHeadroomScale = 0.5
+
+// The gate's dominance structure mirrors what is statistically robust
+// at smoke scale. Displaced downtime and violation-seconds must fall
+// strictly on EVERY mix: they integrate over magnitude and duration, so
+// the placement improvement shows through deterministically. Raw shock
+// kills are small-integer counts that reshuffle with the admission set
+// (a different placement changes WHICH VMs sit on a shocked rack), so
+// they are gated strictly at the fleet level — summed over all mixes —
+// rather than per mix.
+
+// runRisk executes the revocation-risk frontier smoke: for each
+// portfolio mix (sweeping the cheap revocation-heavy "spot" slice from
+// light to heavy), the same workload and rack-shock regime runs
+// risk-blind and risk-aware — hazard-banded placement plus
+// forecast-headroom admission — at two overcommitment points. The
+// process exits non-zero unless, on every mix, risk-aware strictly
+// reduces displaced downtime and SLO violation-seconds at near-equal
+// admitted revenue (>= riskRevenueShareMin of risk-blind), risk-aware
+// strictly reduces shock kills fleet-wide (summed over all mixes), and
+// the portfolio's fleet cost falls monotonically as the spot share
+// grows — the cost-savings vs shock-kill frontier the paper's
+// transient-server economics rest on.
+func runRisk(n, shards, partitions int, scenario string, seed int64, outPath string) {
+	fmt.Printf("== risk frontier smoke: %d-VM %s trace, risk-blind vs risk-aware across portfolio mixes\n", n, scenario)
+	hw := watchHeap()
+	t0 := time.Now()
+	tr, err := trace.GenerateNamed(scenario, n, 3*86400, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := clustersim.PeakServerLowerBound(tr, clustersim.DefaultServerCapacity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixes := []struct {
+		name string
+		spot float64
+	}{
+		{"spot-light", 0.25},
+		{"balanced", 0.5},
+		{"spot-heavy", 0.75},
+	}
+	ocs := []float64{30, 50}
+	rep := riskReport{
+		VMs: n, Scenario: scenario, Shocks: "rack",
+		HeadroomScale: riskHeadroomScale, GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	gateFailures := 0
+	prevCost := math.Inf(1)
+	fleetBlindKills, fleetAwareKills := 0, 0
+	for _, mix := range mixes {
+		portfolio := []clustersim.ServerType{
+			{Name: "stable", Fraction: 1 - mix.spot, PriceFactor: 1, ShockRateScale: 0.05},
+			{Name: "spot", Fraction: mix.spot, PriceFactor: 0.35, ShockRateScale: 2},
+		}
+		opts := clustersim.Options{
+			BaselineServers:     base,
+			Shards:              shards,
+			PlacementPartitions: partitions,
+			ShockConfig:         &trace.ShockConfig{Kind: trace.ShockRack, RatePerDay: 2, OutageMean: 2 * 3600, Seed: seed},
+			SLO:                 &clustersim.SLOConfig{MaxSlowdown: 2},
+			Portfolio:           portfolio,
+		}
+		blindRes, err := clustersim.SweepGrid(tr, []string{clustersim.StrategyPriority}, ocs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Risk = &clustersim.RiskOptions{HighPriority: 0.75, Bands: 4, HeadroomScale: riskHeadroomScale}
+		awareRes, err := clustersim.SweepGrid(tr, []string{clustersim.StrategyPriority}, ocs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sum riskFrontierPoint
+		for i := range ocs {
+			b, a := blindRes[0].Points[i], awareRes[0].Points[i]
+			if math.Abs(b.FleetCost-a.FleetCost) > 1e-6*b.FleetCost {
+				log.Fatalf("%s @ %g%%: fleet cost diverged between blind (%.1f) and aware (%.1f) runs",
+					mix.name, ocs[i], b.FleetCost, a.FleetCost)
+			}
+			pt := riskFrontierPoint{
+				Mix:            mix.name,
+				SpotFraction:   mix.spot,
+				OvercommitPct:  ocs[i],
+				Servers:        a.Servers,
+				FleetCost:      a.FleetCost,
+				BlindKills:     b.ShockKills,
+				AwareKills:     a.ShockKills,
+				BlindDowntime:  b.DisplacedDowntime,
+				AwareDowntime:  a.DisplacedDowntime,
+				BlindViolSec:   b.SLOViolationSeconds,
+				AwareViolSec:   a.SLOViolationSeconds,
+				BlindRevenue:   b.OnDemandRevenue,
+				AwareRevenue:   a.OnDemandRevenue,
+				RiskRejections: a.RiskRejections,
+			}
+			pt.RevenueShare = pt.AwareRevenue / pt.BlindRevenue
+			rep.Points = append(rep.Points, pt)
+			sum.FleetCost += pt.FleetCost
+			sum.BlindKills += pt.BlindKills
+			sum.AwareKills += pt.AwareKills
+			sum.BlindDowntime += pt.BlindDowntime
+			sum.AwareDowntime += pt.AwareDowntime
+			sum.BlindViolSec += pt.BlindViolSec
+			sum.AwareViolSec += pt.AwareViolSec
+			sum.BlindRevenue += pt.BlindRevenue
+			sum.AwareRevenue += pt.AwareRevenue
+			fmt.Printf("%-10s oc=%2.0f%% kills %d->%d  downtime %.0f->%.0f  viol-sec %.0f->%.0f  revenue share %.3f  (fleet cost %.0f, %d withheld)\n",
+				mix.name, ocs[i], pt.BlindKills, pt.AwareKills, pt.BlindDowntime, pt.AwareDowntime,
+				pt.BlindViolSec, pt.AwareViolSec, pt.RevenueShare, pt.FleetCost, pt.RiskRejections)
+		}
+		fleetBlindKills += sum.BlindKills
+		fleetAwareKills += sum.AwareKills
+		share := sum.AwareRevenue / sum.BlindRevenue
+		switch {
+		case sum.AwareDowntime >= sum.BlindDowntime:
+			log.Printf("GATE %s: aware downtime %.0f not below blind %.0f", mix.name, sum.AwareDowntime, sum.BlindDowntime)
+			gateFailures++
+		case sum.AwareViolSec >= sum.BlindViolSec:
+			log.Printf("GATE %s: aware violation-seconds %.0f not below blind %.0f", mix.name, sum.AwareViolSec, sum.BlindViolSec)
+			gateFailures++
+		case share < riskRevenueShareMin:
+			log.Printf("GATE %s: aware revenue share %.3f below %.2f", mix.name, share, riskRevenueShareMin)
+			gateFailures++
+		}
+		if sum.FleetCost >= prevCost {
+			log.Printf("GATE %s: fleet cost %.0f did not fall as the spot share grew (prev %.0f)", mix.name, sum.FleetCost, prevCost)
+			gateFailures++
+		}
+		prevCost = sum.FleetCost
+	}
+	if fleetAwareKills >= fleetBlindKills {
+		log.Printf("GATE fleet: aware shock kills %d not below blind %d summed over all mixes", fleetAwareKills, fleetBlindKills)
+		gateFailures++
+	} else {
+		fmt.Printf("fleet shock kills: %d risk-aware vs %d risk-blind across the frontier\n", fleetAwareKills, fleetBlindKills)
+	}
+	rep.WallSeconds = time.Since(t0).Seconds()
+	rep.PeakHeapBytes = hw.Stop()
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("risk frontier: %d mixes x %d overcommit points in %s (report: %s)\n",
+		len(mixes), len(ocs), time.Duration(rep.WallSeconds*float64(time.Second)).Round(time.Millisecond), outPath)
+	if gateFailures > 0 {
+		log.Fatalf("risk frontier gate failed on %d mix(es)", gateFailures)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchreport: ")
@@ -613,6 +827,8 @@ func main() {
 	stream := flag.Bool("stream", false, "drive -scale from a streaming trace (O(live VMs) resident memory)")
 	matrix := flag.Int("matrix", 0, "run only the multi-core scaling matrix at this VM count")
 	matrixOut := flag.String("matrixout", "BENCH_matrix.json", "where -matrix writes its JSON report")
+	risk := flag.Int("risk", 0, "run only the revocation-risk frontier smoke (risk-blind vs risk-aware portfolio mixes) at this VM count")
+	riskOut := flag.String("riskout", "BENCH_risk.json", "where -risk writes its JSON report")
 	flag.Parse()
 
 	if *matrix > 0 {
@@ -634,6 +850,10 @@ func main() {
 			}
 		})
 		runSLO(*slo, *shards, *partitions, scn, *seed, *sloOut)
+		return
+	}
+	if *risk > 0 {
+		runRisk(*risk, *shards, *partitions, *scenario, *seed, *riskOut)
 		return
 	}
 

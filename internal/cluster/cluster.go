@@ -81,6 +81,14 @@ var (
 	ErrNotFound = errors.New("cluster: not found")
 	// ErrExists reports a duplicate name.
 	ErrExists = errors.New("cluster: already exists")
+	// ErrHeadroom is a shock-aware admission rejection: the cluster has
+	// room for the VM, but placing it would eat into the evacuation
+	// headroom reserved against forecast revocation mass (Config.Risk).
+	// Headroom rejections also satisfy errors.Is(err, ErrNoCapacity) —
+	// they ARE admission-control rejections, and callers that only
+	// classify accept/reject must not need to know about risk — while
+	// ErrHeadroom lets callers attribute the cause.
+	ErrHeadroom = errors.New("cluster: admission withheld for forecast evacuation headroom")
 )
 
 // Config parameterises a Manager.
@@ -130,6 +138,25 @@ type Config struct {
 	// per-batch paths, and benchmarks should not pay for them unasked.
 	// Timing collection never influences any placement outcome.
 	CollectTimings bool
+	// Risk, when set, turns on the revocation-risk machinery: servers
+	// carry a hazard band and a headroom reserve fraction
+	// (AddServerSpec), admission withholds capacity that forecast
+	// evacuations will need (ErrHeadroom), and high-priority VMs prefer
+	// low-hazard servers through the banded candidate order. Nil keeps
+	// every placement path bit-identical to the risk-unaware manager.
+	Risk *RiskConfig
+}
+
+// RiskConfig parameterises shock-aware admission and placement.
+type RiskConfig struct {
+	// HighPriority is the priority at or above which a deflatable VM
+	// gets the hazard-aware candidate order — and, like non-deflatable
+	// VMs, bypasses the headroom admission gate (it is the revenue the
+	// reserve protects). Default 0.75.
+	HighPriority float64
+	// MaxBands is how many hazard bands servers quantise into; the
+	// banded candidate order prefers lower bands. Default 4.
+	MaxBands int
 }
 
 func (c *Config) applyDefaults() {
@@ -141,6 +168,19 @@ func (c *Config) applyDefaults() {
 	}
 	if c.PriorityLevels <= 0 {
 		c.PriorityLevels = 4
+	}
+	// Clone Risk only when a default is actually missing: applyDefaults
+	// runs on every PlaceOn call, and a normalised config (NewManager
+	// normalises once) must not allocate on the placement hot path.
+	if c.Risk != nil && (c.Risk.HighPriority <= 0 || c.Risk.MaxBands <= 0) {
+		r := *c.Risk
+		if r.HighPriority <= 0 {
+			r.HighPriority = 0.75
+		}
+		if r.MaxBands <= 0 {
+			r.MaxBands = 4
+		}
+		c.Risk = &r
 	}
 }
 
@@ -167,6 +207,18 @@ type Server struct {
 	// scan until RestoreServer clears the flag. Guarded by the Manager's
 	// lock like the cached fields below.
 	revoked bool
+	// band is the server's hazard band (0 = lowest revocation hazard),
+	// set at AddServerSpec from the risk model and immutable after: the
+	// banded candidate order must be a pure function of configuration,
+	// never of anything a run computes. Always 0 without Config.Risk.
+	band int
+	// reserveFrac/reserve is the server's contribution to the cluster's
+	// evacuation-headroom reserve: reserveFrac of its capacity,
+	// recomputed on resize, subtracted while the server is revoked (its
+	// risk is then realised, not forecast). Guarded by the Manager's
+	// lock.
+	reserveFrac float64
+	reserve     resources.Vector
 
 	// Cached placement state, refreshed by the owning Manager's dirty
 	// sync (syncDirtyLocked) and read only under the Manager's lock.
@@ -230,6 +282,18 @@ type Manager struct {
 	deflationEvents int
 	rejections      int
 
+	// Revocation-risk state (Config.Risk): nBands is the hazard-band
+	// count the (pool, band) index keys are laid out for — 1 without a
+	// risk config, so the keys degenerate to the historical pure-pool
+	// keys. reserve is the cluster evacuation-headroom reserve (the sum
+	// of in-service servers' contributions, maintained incrementally in
+	// event order so every engine configuration folds the identical
+	// float sequence), and riskRejections counts admissions the
+	// headroom gate refused (a subset of rejections).
+	nBands         int
+	reserve        resources.Vector
+	riskRejections int
+
 	// Capacity-shock state (revoke.go): how many servers are currently
 	// revoked, whether the placement engine is running a relocation
 	// batch (whose failures must not count as admission rejections), and
@@ -254,6 +318,7 @@ type Manager struct {
 	results      []Placement
 	batchDCs     []hypervisor.DomainConfig
 	batchPools   []int
+	batchBanded  []bool
 	needPressure []bool
 	touched      map[*Server]bool
 	touchedList  []*Server
@@ -312,6 +377,23 @@ func (m *Manager) Rejections() int {
 	return m.rejections
 }
 
+// RiskRejections returns how many arrivals the shock-aware admission
+// gate refused to protect forecast evacuation headroom — a subset of
+// Rejections. Always zero without Config.Risk.
+func (m *Manager) RiskRejections() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.riskRejections
+}
+
+// HeadroomReserve returns the current evacuation-headroom reserve: the
+// sum of the in-service servers' reserve contributions.
+func (m *Manager) HeadroomReserve() resources.Vector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reserve
+}
+
 // NewManager creates a manager with the given configuration.
 func NewManager(cfg Config) *Manager {
 	cfg.applyDefaults()
@@ -319,11 +401,16 @@ func NewManager(cfg Config) *Manager {
 	if nParts < 1 || cfg.ReferencePlacement {
 		nParts = 1
 	}
+	nBands := 1
+	if cfg.Risk != nil {
+		nBands = cfg.Risk.MaxBands
+	}
 	m := &Manager{
 		cfg:        cfg,
 		byName:     make(map[string]*Server),
 		placements: make(map[string]*Server),
 		parts:      make([]*placePartition, nParts),
+		nBands:     nBands,
 	}
 	for i := range m.parts {
 		m.parts[i] = &placePartition{
@@ -342,8 +429,34 @@ func (m *Manager) Config() Config { return m.cfg }
 // AddServer registers a new physical server. When partitioning is
 // enabled, partition assigns its pool; pass 0..PriorityLevels-1.
 func (m *Manager) AddServer(name string, capacity resources.Vector, partition int) (*Server, error) {
+	return m.AddServerSpec(ServerSpec{Name: name, Capacity: capacity, Partition: partition})
+}
+
+// ServerSpec describes one server for AddServerSpec: name, capacity and
+// priority pool, plus the server's revocation-risk attributes.
+type ServerSpec struct {
+	Name     string
+	Capacity resources.Vector
+	// Partition is the priority pool (0..PriorityLevels-1); ignored
+	// unless Config.PartitionByPriority.
+	Partition int
+	// Band is the server's hazard band, 0 = lowest revocation hazard
+	// (typically risk.Model.Band). Clamped to [0, Risk.MaxBands); only
+	// meaningful with Config.Risk.
+	Band int
+	// ReserveFraction is the fraction of this server's capacity the
+	// admission gate holds back as forecast evacuation headroom
+	// (typically the risk model's OutageFraction). Zero contributes no
+	// reserve.
+	ReserveFraction float64
+}
+
+// AddServerSpec registers a new physical server with explicit risk
+// attributes. AddServer is the spec with zero band and reserve.
+func (m *Manager) AddServerSpec(spec ServerSpec) (*Server, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	name, capacity := spec.Name, spec.Capacity
 	for _, s := range m.servers {
 		if s.Host.Name() == name {
 			return nil, fmt.Errorf("%w: server %s", ErrExists, name)
@@ -353,26 +466,80 @@ func (m *Manager) AddServer(name string, capacity resources.Vector, partition in
 	if err != nil {
 		return nil, err
 	}
+	partition := spec.Partition
 	if !m.cfg.PartitionByPriority {
 		partition = -1
+	}
+	band := spec.Band
+	if band < 0 {
+		band = 0
+	}
+	if band >= m.nBands {
+		band = m.nBands - 1
 	}
 	// Round-robin placement-partition assignment by add order: balanced,
 	// stable, and independent of anything the run computes.
 	pp := m.parts[len(m.servers)%len(m.parts)]
-	s := &Server{Host: h, Partition: partition, gidx: len(m.servers)}
+	s := &Server{Host: h, Partition: partition, gidx: len(m.servers), band: band, reserveFrac: spec.ReserveFraction}
 	m.servers = append(m.servers, s)
 	m.byName[name] = s
 	pp.servers = append(pp.servers, s)
-	if pp.indexes[partition] == nil {
-		pp.indexes[partition] = capindex.New()
+	key := m.poolKey(partition, band)
+	if pp.indexes[key] == nil {
+		pp.indexes[key] = capindex.New()
 	}
-	pp.maxCap[partition] = pp.maxCap[partition].Max(capacity)
+	pp.maxCap[key] = pp.maxCap[key].Max(capacity)
 	m.totCapacity = m.totCapacity.Add(capacity)
+	if s.reserveFrac > 0 {
+		s.reserve = capacity.Scale(s.reserveFrac)
+		m.reserve = m.reserve.Add(s.reserve)
+	}
 	// The callback only records dirtiness; the next query refreshes the
 	// server's index key, cached availability and the cluster totals.
 	h.OnAggregateChange(func() { pp.dirty.Mark(name) })
 	pp.dirty.Mark(name)
 	return s, nil
+}
+
+// Band returns the server's hazard band (0 without Config.Risk).
+func (s *Server) Band() int { return s.band }
+
+// poolKey maps a (priority pool, hazard band) pair onto one capacity
+// index key. Without Config.Risk nBands is 1 and the key equals the
+// pool — the historical keying, so risk-off managers exercise exactly
+// the legacy index layout. Pools are -1 or 0..PriorityLevels-1 and
+// bands 0..nBands-1, so keys never collide across pools.
+func (m *Manager) poolKey(pool, band int) int {
+	return pool*m.nBands + band
+}
+
+// banded reports whether dc gets the hazard-aware candidate order:
+// with Config.Risk set, non-deflatable VMs and deflatable VMs at or
+// above the HighPriority threshold prefer low-hazard servers.
+func (m *Manager) banded(dc hypervisor.DomainConfig) bool {
+	if m.cfg.Risk == nil || m.nBands <= 1 {
+		return false
+	}
+	return !dc.Deflatable || dc.Priority >= m.cfg.Risk.HighPriority
+}
+
+// riskRejectLocked is the shock-aware admission gate: reject an arrival
+// when placing it would eat into the evacuation headroom the forecast
+// revocation mass reserves (cluster free capacity after the placement
+// would drop below the reserve on some dimension). Evacuation batches
+// bypass the gate — the reserve exists precisely so they can land —
+// and so do the high-priority and non-deflatable VMs the reserve
+// protects. Reads only the canonical delta-maintained totals, so the
+// decision is bit-identical at any shard or partition count.
+func (m *Manager) riskRejectLocked(dc hypervisor.DomainConfig) bool {
+	if m.cfg.Risk == nil || m.evacuating || m.reserve.IsZero() {
+		return false
+	}
+	if !dc.Deflatable || dc.Priority >= m.cfg.Risk.HighPriority {
+		return false
+	}
+	free := m.totCapacity.Sub(m.totAllocated)
+	return !dc.Size.Add(m.reserve).FitsIn(free)
 }
 
 // Servers returns the managed servers.
@@ -454,6 +621,10 @@ func errExists(name string) error {
 
 func errNoCapacity(dc hypervisor.DomainConfig) error {
 	return fmt.Errorf("%w: %s (size %v)", ErrNoCapacity, dc.Name, dc.Size)
+}
+
+func errHeadroom(dc hypervisor.DomainConfig) error {
+	return fmt.Errorf("%w: %w: %s (size %v)", ErrNoCapacity, ErrHeadroom, dc.Name, dc.Size)
 }
 
 // Placement is one VM's outcome in a PlaceVMs batch.
@@ -563,6 +734,10 @@ type cand struct {
 	s       *Server
 	fitness float64
 	idx     int
+	// band is the hazard band the candidate order ranks first — the
+	// server's band for hazard-aware (banded) VMs, always 0 otherwise,
+	// so the legacy (fitness, idx) order is the band-0 special case.
+	band int
 }
 
 type candList []cand
@@ -577,17 +752,19 @@ func (c candList) Less(i, j int) bool { return candBefore(c[i], c[j]) }
 
 // surplusCandidateLocked returns the tightest-fit server that can host
 // size without any deflation — the server with the smallest (dominant
-// free share, name) among those whose free vector fits size — or nil.
+// free share, name) among those whose free vector fits size, or the
+// smallest (hazard band, free share, name) for banded VMs — or nil.
 // The indexed path asks every placement partition's ordered index for
 // its first fitting entry (ascending from a partition-local
 // demand-share lower bound, so each scan inspects O(log S) plus however
 // many near-full servers fit on the dominant dimension but not the
 // others) and takes the minimum across partitions; the reference path
 // scans every server and applies the identical minimisation.
-func (m *Manager) surplusCandidateLocked(pool int, size resources.Vector) *Server {
+func (m *Manager) surplusCandidateLocked(pool int, size resources.Vector, banded bool) *Server {
 	if m.cfg.ReferencePlacement {
 		var best *Server
 		bestKey := 0.0
+		bestBand := 0
 		for _, s := range m.servers {
 			if s.revoked || (pool >= 0 && s.Partition != pool) {
 				continue
@@ -598,28 +775,61 @@ func (m *Manager) surplusCandidateLocked(pool int, size resources.Vector) *Serve
 				continue
 			}
 			key := free.DominantShare(total)
-			if best == nil || key < bestKey || (key == bestKey && s.Host.Name() < best.Host.Name()) {
-				best, bestKey = s, key
+			b := 0
+			if banded {
+				b = s.band
+			}
+			better := best == nil || b < bestBand ||
+				(b == bestBand && (key < bestKey || (key == bestKey && s.Host.Name() < best.Host.Name())))
+			if better {
+				best, bestKey, bestBand = s, key, b
 			}
 		}
 		return best
 	}
+	fits := func(n string) bool {
+		return size.FitsIn(m.byName[n].free)
+	}
+	if banded {
+		// Bands ascending, first band with any fit wins: the global
+		// (band, free share, name) minimum, since each band's MinFitting
+		// is that band's (free share, name) minimum across partitions.
+		for band := 0; band < m.nBands; band++ {
+			key := m.poolKey(pool, band)
+			ixs, lows := m.mfIdx[:0], m.mfLow[:0]
+			for _, p := range m.parts {
+				ix := p.indexes[key]
+				var lower float64
+				if ix != nil {
+					lower = size.DominantShare(p.maxCap[key]) - fitMargin
+				}
+				ixs, lows = append(ixs, ix), append(lows, lower)
+			}
+			m.mfIdx, m.mfLow = ixs, lows
+			if name, _, ok := capindex.MinFitting(ixs, lows, fits); ok {
+				return m.byName[name]
+			}
+		}
+		return nil
+	}
 	// Any fitting server's free share is at least the demand's dominant
-	// share of its partition's largest capacity (minus float fuzz), so
-	// each index prunes everything below its own bound.
+	// share of its index's largest capacity (minus float fuzz), so each
+	// index prunes everything below its own bound. All of the pool's
+	// band indexes join one MinFitting: band-blind (free share, name).
 	ixs, lows := m.mfIdx[:0], m.mfLow[:0]
 	for _, p := range m.parts {
-		ix := p.indexes[pool]
-		var lower float64
-		if ix != nil {
-			lower = size.DominantShare(p.maxCap[pool]) - fitMargin
+		for band := 0; band < m.nBands; band++ {
+			key := m.poolKey(pool, band)
+			ix := p.indexes[key]
+			var lower float64
+			if ix != nil {
+				lower = size.DominantShare(p.maxCap[key]) - fitMargin
+			}
+			ixs, lows = append(ixs, ix), append(lows, lower)
 		}
-		ixs, lows = append(ixs, ix), append(lows, lower)
 	}
 	m.mfIdx, m.mfLow = ixs, lows
-	name, _, ok := capindex.MinFitting(ixs, lows, func(n string) bool {
-		return size.FitsIn(m.byName[n].free)
-	})
+	name, _, ok := capindex.MinFitting(ixs, lows, fits)
 	if !ok {
 		return nil
 	}
@@ -627,8 +837,9 @@ func (m *Manager) surplusCandidateLocked(pool int, size resources.Vector) *Serve
 }
 
 // anyFitsLocked reports whether any server in the cluster (regardless
-// of priority pool) can host size with no deflation, from the live
-// partition indexes. Order-independent: it is an existence check.
+// of priority pool or hazard band) can host size with no deflation,
+// from the live partition indexes. Order-independent: it is an
+// existence check, so the random map iteration is fine.
 func (m *Manager) anyFitsLocked(size resources.Vector) bool {
 	if m.cfg.ReferencePlacement {
 		for _, s := range m.servers {
@@ -642,8 +853,11 @@ func (m *Manager) anyFitsLocked(size resources.Vector) bool {
 		return false
 	}
 	for _, p := range m.parts {
-		for pool := range p.indexes {
-			if p.surplusLocal(m, pool, size) != nil {
+		for key, ix := range p.indexes {
+			lower := size.DominantShare(p.maxCap[key]) - fitMargin
+			if _, _, ok := ix.FirstFitting(lower, func(n string) bool {
+				return size.FitsIn(m.byName[n].free)
+			}); ok {
 				return true
 			}
 		}

@@ -21,6 +21,15 @@ type churnStep func(m *Manager) string
 // the bit-for-bit placement-identity guarantee of the capacity index.
 func runDifferentialChurn(t *testing.T, seed int64, cfg Config, nServers, nOps int) {
 	t.Helper()
+	runDifferentialChurnSpecs(t, seed, cfg, nServers, nOps, nil)
+}
+
+// runDifferentialChurnSpecs is runDifferentialChurn with custom server
+// provisioning: specFor(i) supplies server i's full ServerSpec (bands,
+// reserve fractions), so the risk suites can churn heterogeneous
+// fleets. A nil specFor provisions the legacy homogeneous fleet.
+func runDifferentialChurnSpecs(t *testing.T, seed int64, cfg Config, nServers, nOps int, specFor func(i int, m *Manager) ServerSpec) {
+	t.Helper()
 	refCfg := cfg
 	refCfg.ReferencePlacement = true
 	idxCfg := cfg
@@ -29,8 +38,15 @@ func runDifferentialChurn(t *testing.T, seed int64, cfg Config, nServers, nOps i
 	managers := []*Manager{NewManager(idxCfg), NewManager(refCfg)}
 	for i := 0; i < nServers; i++ {
 		for _, m := range managers {
-			part := i % max(1, m.Config().PriorityLevels)
-			if _, err := m.AddServer(fmt.Sprintf("node-%03d", i), serverCap(), part); err != nil {
+			spec := ServerSpec{
+				Name:      fmt.Sprintf("node-%03d", i),
+				Capacity:  serverCap(),
+				Partition: i % max(1, m.Config().PriorityLevels),
+			}
+			if specFor != nil {
+				spec = specFor(i, m)
+			}
+			if _, err := m.AddServerSpec(spec); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -128,6 +144,10 @@ func compareManagers(t *testing.T, op int, a, b *Manager) {
 	if a.DeflationEvents() != b.DeflationEvents() || a.Rejections() != b.Rejections() {
 		t.Fatalf("op %d: counters diverged: indexed (%d defl, %d rej) vs reference (%d defl, %d rej)",
 			op, a.DeflationEvents(), a.Rejections(), b.DeflationEvents(), b.Rejections())
+	}
+	if a.RiskRejections() != b.RiskRejections() {
+		t.Fatalf("op %d: risk rejections diverged: indexed %d vs reference %d",
+			op, a.RiskRejections(), b.RiskRejections())
 	}
 	sa, sb := a.Stats(), b.Stats()
 	if sa != sb {

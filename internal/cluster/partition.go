@@ -73,6 +73,12 @@ type placePartition struct {
 	sortedv []bool    // per-VM: segment already sorted?
 	seg     candList  // reusable sort view over one segment
 
+	// Band-blind surplus scratch: the pool's per-band indexes and lower
+	// bounds joined into one MinFitting (only with Config.Risk, where a
+	// pool spans several band indexes).
+	bandIdx []*capindex.Index
+	bandLow []float64
+
 	// Sync arenas: the drained dirty names (sorted) and the per-server
 	// aggregate deltas the serial fold applies to the cluster totals.
 	names  []string
@@ -108,13 +114,32 @@ func grow[T any](s []T, n int) []T {
 	return s[:n]
 }
 
-// candBefore is the strict total pressure order: fitness descending,
-// server add-index ascending. It is candList.Less on two loose values.
+// candBefore is the strict total pressure order: hazard band ascending,
+// then fitness descending, then server add-index ascending. Candidates
+// for non-banded VMs always carry band 0, so for them the order is the
+// historical (fitness, idx) pair. It is candList.Less on two loose
+// values.
 func candBefore(a, b cand) bool {
+	if a.band != b.band {
+		return a.band < b.band
+	}
 	if a.fitness != b.fitness {
 		return a.fitness > b.fitness
 	}
 	return a.idx < b.idx
+}
+
+// surplusBefore is the strict total surplus order over cached server
+// state: (hazard band when banded, free share, name) ascending — the
+// cross-partition merge twin of the per-index scans.
+func surplusBefore(a, b *Server, banded bool) bool {
+	if banded && a.band != b.band {
+		return a.band < b.band
+	}
+	if a.freeShare != b.freeShare {
+		return a.freeShare < b.freeShare
+	}
+	return a.Host.Name() < b.Host.Name()
 }
 
 // newcomerRange is the newcomer's own deflatable range, which joins
@@ -252,13 +277,14 @@ func (p *placePartition) refresh(m *Manager) {
 		s.free = total.Sub(agg.Allocated)
 		s.freeShare = s.free.DominantShare(total)
 		s.avail = availabilityFrom(total, agg)
+		key := m.poolKey(s.Partition, s.band)
 		if s.revoked {
 			// A revoked server stays out of the index no matter who
 			// marked it dirty; its cached state is still refreshed so
 			// the delta fold keeps the cluster totals exact.
-			p.indexes[s.Partition].Delete(name)
+			p.indexes[key].Delete(name)
 		} else {
-			p.indexes[s.Partition].Upsert(name, s.freeShare)
+			p.indexes[key].Upsert(name, s.freeShare)
 		}
 	}
 }
@@ -295,16 +321,55 @@ func (m *Manager) foldDeltasLocked() {
 	}
 }
 
-// surplusLocal answers the partition's tightest-fit surplus query: the
-// fitting server with the smallest (free share, name) among this
-// partition's pool servers, from its own index. Side-effect-free.
-func (p *placePartition) surplusLocal(m *Manager, pool int, size resources.Vector) *Server {
-	ix := p.indexes[pool]
+// surplusKey answers one (pool, band) index's tightest-fit query: the
+// fitting server with the smallest (free share, name) in that index.
+// Side-effect-free.
+func (p *placePartition) surplusKey(m *Manager, key int, size resources.Vector) *Server {
+	ix := p.indexes[key]
 	if ix == nil {
 		return nil
 	}
-	lower := size.DominantShare(p.maxCap[pool]) - fitMargin
+	lower := size.DominantShare(p.maxCap[key]) - fitMargin
 	name, _, ok := ix.FirstFitting(lower, func(n string) bool {
+		return size.FitsIn(m.byName[n].free)
+	})
+	if !ok {
+		return nil
+	}
+	return m.byName[name]
+}
+
+// surplusLocal answers the partition's tightest-fit surplus query for a
+// priority pool: the fitting server with the smallest (free share,
+// name) among this partition's pool servers — or, for banded VMs, the
+// smallest (hazard band, free share, name), by probing bands ascending
+// and taking the first band with any fit. Side-effect-free.
+func (p *placePartition) surplusLocal(m *Manager, pool int, size resources.Vector, banded bool) *Server {
+	if banded {
+		for band := 0; band < m.nBands; band++ {
+			if s := p.surplusKey(m, m.poolKey(pool, band), size); s != nil {
+				return s
+			}
+		}
+		return nil
+	}
+	if m.nBands == 1 {
+		return p.surplusKey(m, pool, size)
+	}
+	// Band-blind with several band indexes per pool: one MinFitting over
+	// the pool's bands gives the (free share, name) minimum.
+	ixs, lows := p.bandIdx[:0], p.bandLow[:0]
+	for band := 0; band < m.nBands; band++ {
+		key := m.poolKey(pool, band)
+		ix := p.indexes[key]
+		var lower float64
+		if ix != nil {
+			lower = size.DominantShare(p.maxCap[key]) - fitMargin
+		}
+		ixs, lows = append(ixs, ix), append(lows, lower)
+	}
+	p.bandIdx, p.bandLow = ixs, lows
+	name, _, ok := capindex.MinFitting(ixs, lows, func(n string) bool {
 		return size.FitsIn(m.byName[n].free)
 	})
 	if !ok {
@@ -318,7 +383,7 @@ func (p *placePartition) surplusLocal(m *Manager, pool int, size resources.Vecto
 func (p *placePartition) proposeSurplus(m *Manager) {
 	p.surplus = grow(p.surplus, len(m.batchDCs))
 	for i := range m.batchDCs {
-		p.surplus[i] = p.surplusLocal(m, m.batchPools[i], m.batchDCs[i].Size)
+		p.surplus[i] = p.surplusLocal(m, m.batchPools[i], m.batchDCs[i].Size, m.batchBanded[i])
 	}
 }
 
@@ -342,15 +407,20 @@ func (p *placePartition) proposePressure(m *Manager) {
 		}
 		pool := m.batchPools[i]
 		size := m.batchDCs[i].Size
+		banded := m.batchBanded[i]
 		start := int32(len(p.pcands))
 		bestAt := int32(-1)
 		for _, s := range p.servers {
 			if s.revoked || (pool >= 0 && s.Partition != pool) {
 				continue
 			}
-			c := cand{s, Fitness(size, s.avail), s.gidx}
+			b := 0
+			if banded {
+				b = s.band
+			}
+			c := cand{s, Fitness(size, s.avail), s.gidx, b}
 			p.pcands = append(p.pcands, c)
-			if bestAt < 0 || c.fitness > p.pcands[bestAt].fitness {
+			if bestAt < 0 || candBefore(c, p.pcands[bestAt]) {
 				bestAt = int32(len(p.pcands) - 1)
 			}
 		}
@@ -401,7 +471,12 @@ func (m *Manager) placeAllLocked(dcs []hypervisor.DomainConfig) {
 // propose/commit engine must match it bit for bit.
 func (m *Manager) placeSequentialLocked(dc hypervisor.DomainConfig) Placement {
 	m.syncDirtyLocked()
-	best := m.surplusCandidateLocked(m.PartitionOf(dc), dc.Size)
+	if m.riskRejectLocked(dc) {
+		m.rejections++
+		m.riskRejections++
+		return Placement{Err: errHeadroom(dc)}
+	}
+	best := m.surplusCandidateLocked(m.PartitionOf(dc), dc.Size, m.banded(dc))
 	// A surplus candidate in the VM's own pool already proves some
 	// server fits without deflation; only its absence needs the
 	// cross-pool existence scan.
@@ -441,6 +516,7 @@ func (m *Manager) placeSequentialLocked(dc hypervisor.DomainConfig) Placement {
 // proposals conflicted with earlier commits of their batch.
 func (m *Manager) pressureLiveLocked(dc hypervisor.DomainConfig, best *Server) (*hypervisor.Domain, *Server, bool) {
 	pool := m.PartitionOf(dc)
+	banded := m.banded(dc)
 	cands := m.cands[:0]
 	for _, s := range m.servers {
 		if s.revoked || (pool >= 0 && s.Partition != pool) {
@@ -450,14 +526,18 @@ func (m *Manager) pressureLiveLocked(dc hypervisor.DomainConfig, best *Server) (
 		if m.cfg.ReferencePlacement {
 			avail = Availability(s)
 		}
-		cands = append(cands, cand{s, Fitness(dc.Size, avail), s.gidx})
+		b := 0
+		if banded {
+			b = s.band
+		}
+		cands = append(cands, cand{s, Fitness(dc.Size, avail), s.gidx, b})
 	}
 	m.cands = cands
 
 	ncRange := newcomerRange(dc)
 	first := -1
 	for i := range cands {
-		if first < 0 || cands[i].fitness > cands[first].fitness {
+		if first < 0 || candBefore(cands[i], cands[first]) {
 			first = i
 		}
 	}
@@ -517,9 +597,11 @@ func (m *Manager) placeBatchLocked(dcs []hypervisor.DomainConfig) {
 func (m *Manager) proposeLocked(dcs []hypervisor.DomainConfig) {
 	m.batchDCs = dcs
 	m.batchPools = grow(m.batchPools, len(dcs))
+	m.batchBanded = grow(m.batchBanded, len(dcs))
 	m.needPressure = grow(m.needPressure, len(dcs))
 	for i := range dcs {
 		m.batchPools[i] = m.PartitionOf(dcs[i])
+		m.batchBanded[i] = m.banded(dcs[i])
 	}
 	m.dispatchLocked(phaseSurplus)
 	any := false
@@ -566,6 +648,11 @@ func (m *Manager) touchedInPoolLocked(pool int) bool {
 // makes, resolved from the batch proposals when they are still exact
 // and re-proposed live on conflict. Called with the dirty set drained.
 func (m *Manager) commitOneLocked(i int, dc hypervisor.DomainConfig) Placement {
+	if m.riskRejectLocked(dc) { // same gate, same live totals, as the sequential path
+		m.rejections++
+		m.riskRejections++
+		return Placement{Err: errHeadroom(dc)}
+	}
 	pool := m.batchPools[i]
 	best := m.commitSurplusLocked(i, pool, dc.Size)
 	// As in placeSequentialLocked: a pool surplus winner implies the
@@ -607,17 +694,19 @@ func (m *Manager) commitOneLocked(i int, dc hypervisor.DomainConfig) Placement {
 // conflicted and the winner is re-proposed from the live indexes, which
 // the commit loop's dirty sync keeps current.
 func (m *Manager) commitSurplusLocked(i, pool int, size resources.Vector) *Server {
+	banded := m.batchBanded[i]
 	if m.touchedInPoolLocked(pool) {
-		return m.surplusCandidateLocked(pool, size)
+		return m.surplusCandidateLocked(pool, size, banded)
 	}
+	// Each partition's bid is its local (band when banded, free share,
+	// name) minimum, so the minimum over bids is the global one.
 	var best *Server
 	for _, p := range m.parts {
 		s := p.surplus[i]
 		if s == nil {
 			continue
 		}
-		if best == nil || s.freeShare < best.freeShare ||
-			(s.freeShare == best.freeShare && s.Host.Name() < best.Host.Name()) {
+		if best == nil || surplusBefore(s, best, banded) {
 			best = s
 		}
 	}
@@ -639,12 +728,17 @@ func (m *Manager) commitPressureLocked(i int, dc hypervisor.DomainConfig, pool i
 	}
 	ncRange := newcomerRange(dc)
 
+	banded := m.batchBanded[i]
 	tl := m.touchedCands[:0]
 	for _, s := range m.touchedList {
 		if pool >= 0 && s.Partition != pool {
 			continue
 		}
-		tl = append(tl, cand{s, Fitness(dc.Size, s.avail), s.gidx})
+		b := 0
+		if banded {
+			b = s.band
+		}
+		tl = append(tl, cand{s, Fitness(dc.Size, s.avail), s.gidx, b})
 	}
 	m.touchedCands = tl
 	sort.Sort(&m.touchedCands)

@@ -129,8 +129,11 @@ func (m *Manager) RevokeServers(names ...string) (Evacuation, error) {
 		}
 		s.revoked = true
 		m.revokedCount++
-		m.partitionFor(s).indexes[s.Partition].Delete(name)
+		m.partitionFor(s).indexes[m.poolKey(s.Partition, s.band)].Delete(name)
 		m.totCapacity = m.totCapacity.Sub(s.Host.Capacity())
+		// An out-of-service server's risk is realised, not forecast: its
+		// headroom contribution leaves the reserve with its capacity.
+		m.reserve = m.reserve.Sub(s.reserve)
 	}
 	return m.evacuateLocked(), nil
 }
@@ -152,6 +155,7 @@ func (m *Manager) RestoreServer(name string) error {
 	s.revoked = false
 	m.revokedCount--
 	m.totCapacity = m.totCapacity.Add(s.Host.Capacity())
+	m.reserve = m.reserve.Add(s.reserve)
 	m.partitionFor(s).dirty.Mark(name)
 	return nil
 }
@@ -182,12 +186,21 @@ func (m *Manager) ResizeServer(name string, capacity resources.Vector) (Evacuati
 		return Evacuation{}, err
 	}
 	m.totCapacity = m.totCapacity.Add(capacity.Sub(old))
+	// The server's headroom contribution tracks its capacity: swap the
+	// old reserve vector out and the recomputed one in, in event order,
+	// so every engine configuration folds the identical float sequence.
+	if s.reserveFrac > 0 {
+		m.reserve = m.reserve.Sub(s.reserve)
+		s.reserve = capacity.Scale(s.reserveFrac)
+		m.reserve = m.reserve.Add(s.reserve)
+	}
 	// maxCap stays a component-wise upper bound over every capacity the
 	// partition's pool has seen: after a shrink it over-estimates, which
 	// only loosens the index scans' lower bound (more entries inspected,
 	// same answer) — correctness never depends on it being tight.
 	pp := m.partitionFor(s)
-	pp.maxCap[s.Partition] = pp.maxCap[s.Partition].Max(capacity)
+	key := m.poolKey(s.Partition, s.band)
+	pp.maxCap[key] = pp.maxCap[key].Max(capacity)
 
 	if s.Host.Allocated().FitsIn(capacity) {
 		// Grow / slack restore: run the freed capacity back into the

@@ -13,6 +13,7 @@ import (
 	"vmdeflate/internal/pricing"
 	"vmdeflate/internal/queueing"
 	"vmdeflate/internal/resources"
+	"vmdeflate/internal/risk"
 	"vmdeflate/internal/stats"
 	"vmdeflate/internal/trace"
 )
@@ -85,6 +86,18 @@ type Engine struct {
 	// revoked.
 	serverNames []string
 	revoked     []bool
+
+	// Portfolio / risk provisioning state (deflation mode). baseCap and
+	// rateScale are nil on homogeneous fleets: per-server provisioned
+	// capacity (resize events scale it) and the per-server shock-rate
+	// multipliers handed to the schedule generator. costRate is each
+	// server's PriceFactor-weighted core count; outStart/outAccum meter
+	// its out-of-service seconds so FleetCost bills in-service time only.
+	baseCap   []resources.Vector
+	rateScale []float64
+	costRate  []float64
+	outStart  []float64
+	outAccum  []float64
 
 	demandTotal float64
 	lostTotal   float64
@@ -176,6 +189,9 @@ func (e *Engine) setupDeflation() error {
 		PlacementPartitions: cfg.PlacementPartitions,
 		CollectTimings:      cfg.Timings != nil,
 	}
+	if cfg.Risk != nil {
+		mgrCfg.Risk = &cluster.RiskConfig{HighPriority: cfg.Risk.HighPriority, MaxBands: cfg.Risk.Bands}
+	}
 	e.mgr = cluster.NewManager(mgrCfg)
 	var partitions []int
 	if cfg.Stream != nil {
@@ -183,11 +199,57 @@ func (e *Engine) setupDeflation() error {
 	} else {
 		partitions = partitionPlan(cfg, e.nServers)
 	}
+
+	// Portfolio typing and the analytic hazard model. Both are pure
+	// functions of config and server count, so every engine over the
+	// same config provisions an identical fleet. Baseline sizing above
+	// stays on the base ServerCapacity: the portfolio redistributes the
+	// same nominal fleet, it does not resize it.
+	typeOf := portfolioAssign(cfg.Portfolio, e.nServers)
+	if typeOf != nil {
+		e.baseCap = make([]resources.Vector, e.nServers)
+		e.rateScale = make([]float64, e.nServers)
+		for i, t := range typeOf {
+			e.baseCap[i] = cfg.ServerCapacity.Scale(orOne(cfg.Portfolio[t].CapacityScale))
+			e.rateScale[i] = orOne(cfg.Portfolio[t].ShockRateScale)
+		}
+	}
+	var model *risk.Model
+	bands, headroom := 0, 1.0
+	if cfg.Risk != nil && cfg.Shocks == nil && cfg.ShockConfig != nil {
+		sc := *cfg.ShockConfig
+		sc.RateScale = e.rateScale
+		model = risk.New(sc, e.nServers)
+		bands = cfg.Risk.Bands
+		if bands <= 0 {
+			bands = 4 // keep in sync with cluster.RiskConfig's default
+		}
+		if cfg.Risk.HeadroomScale > 0 {
+			headroom = cfg.Risk.HeadroomScale
+		}
+	}
+
 	e.serverNames = make([]string, e.nServers)
 	e.revoked = make([]bool, e.nServers)
+	e.costRate = make([]float64, e.nServers)
+	e.outStart = make([]float64, e.nServers)
+	e.outAccum = make([]float64, e.nServers)
 	for i := 0; i < e.nServers; i++ {
 		e.serverNames[i] = fmt.Sprintf("node-%03d", i)
-		if _, err := e.mgr.AddServer(e.serverNames[i], cfg.ServerCapacity, partitions[i]); err != nil {
+		capacity, price := cfg.ServerCapacity, 1.0
+		if typeOf != nil {
+			capacity = e.baseCap[i]
+			price = orOne(cfg.Portfolio[typeOf[i]].PriceFactor)
+		}
+		e.costRate[i] = price * capacity.Get(resources.CPU)
+		spec := cluster.ServerSpec{Name: e.serverNames[i], Capacity: capacity, Partition: partitions[i]}
+		if model != nil {
+			spec.Band = model.Band(i, bands)
+			if f := model.OutageFraction(i) * headroom; f > 0 {
+				spec.ReserveFraction = math.Min(f, 1)
+			}
+		}
+		if _, err := e.mgr.AddServerSpec(spec); err != nil {
 			e.mgr.Close()
 			return err
 		}
@@ -318,6 +380,7 @@ func (e *Engine) runDeflation() (*Result, error) {
 					continue // generator guards double revokes; stay safe
 				}
 				e.revoked[i] = true
+				e.outStart[i] = rev.at
 				names = append(names, e.serverNames[i])
 			}
 			if len(names) > 0 {
@@ -332,6 +395,11 @@ func (e *Engine) runDeflation() (*Result, error) {
 			i := ev.shock.Server
 			if e.revoked[i] {
 				e.revoked[i] = false
+				// Restores can land past the horizon (a late shock's outage
+				// overruns it); clamp so FleetCost never bills beyond the run.
+				if end := math.Min(ev.at, e.horizon); end > e.outStart[i] {
+					e.outAccum[i] += end - e.outStart[i]
+				}
 				if err := e.mgr.RestoreServer(e.serverNames[i]); err != nil {
 					return nil, err
 				}
@@ -340,7 +408,11 @@ func (e *Engine) runDeflation() (*Result, error) {
 		case evResize:
 			i := ev.shock.Server
 			if !e.revoked[i] {
-				out, err := e.mgr.ResizeServer(e.serverNames[i], cfg.ServerCapacity.Scale(ev.shock.Scale))
+				capacity := cfg.ServerCapacity
+				if e.baseCap != nil {
+					capacity = e.baseCap[i] // resize scales the type's own size
+				}
+				out, err := e.mgr.ResizeServer(e.serverNames[i], capacity.Scale(ev.shock.Scale))
 				if err != nil {
 					return nil, err
 				}
@@ -397,6 +469,17 @@ func (e *Engine) runDeflation() (*Result, error) {
 	}
 
 	e.res.ReclamationFailures = e.mgr.Rejections()
+	e.res.RiskRejections = e.mgr.RiskRejections()
+	// FleetCost: bill each server's in-service core-hours at its type's
+	// price factor, in server index order. Outage intervals accumulated
+	// in event order; still-revoked servers charge out to the horizon.
+	for i, rate := range e.costRate {
+		out := e.outAccum[i]
+		if e.revoked[i] && e.horizon > e.outStart[i] {
+			out += e.horizon - e.outStart[i]
+		}
+		e.res.FleetCost += rate * (e.horizon - out) / 3600
+	}
 	if e.res.ReclamationAttempts > 0 {
 		e.res.FailureProbability = float64(e.res.ReclamationFailures) / float64(e.res.ReclamationAttempts)
 	}
@@ -488,6 +571,9 @@ func (e *Engine) pushShocks(q eventQueue) {
 		sc := *e.cfg.ShockConfig
 		if sc.Duration <= 0 {
 			sc.Duration = e.horizon
+		}
+		if e.rateScale != nil {
+			sc.RateScale = e.rateScale // portfolio types shape per-server rates
 		}
 		shocks = trace.GenerateShocks(sc, e.nServers)
 	}

@@ -25,10 +25,18 @@ type SweepPoint struct {
 	Admitted int
 	// Capacity-shock outcomes (zero when the sweep runs without a shock
 	// schedule): revocation events processed, displaced VMs relocated,
-	// displaced VMs killed.
-	Revocations int
-	Evacuations int
-	ShockKills  int
+	// displaced VMs killed, and summed modelled downtime seconds across
+	// evacuated VMs.
+	Revocations       int
+	Evacuations       int
+	ShockKills        int
+	DisplacedDowntime float64
+	// Risk / portfolio outcomes (see Result): admissions withheld for
+	// forecast headroom, the deflatable VMs' on-demand-equivalent bill,
+	// and the provider's PriceFactor-weighted in-service core-hours.
+	RiskRejections  int
+	OnDemandRevenue float64
+	FleetCost       float64
 	// SLO outcomes (zero when the sweep runs without Options.SLO): total
 	// violation seconds, the violation fraction of metered VM-time, and
 	// the histogram p99 slowdown proxy.
@@ -147,6 +155,12 @@ type Options struct {
 	// the metrics judge it by. The "latency" strategy is meaningful only
 	// with this set (without it every VM's load reads zero).
 	SLO *SLOConfig
+	// Portfolio provisions every grid point's fleet as this server-type
+	// mix (Config.Portfolio); nil keeps homogeneous fleets.
+	Portfolio []ServerType
+	// Risk turns on revocation-risk forecasting for every deflation-mode
+	// grid point (Config.Risk); the preemption baseline ignores it.
+	Risk *RiskOptions
 }
 
 func (o Options) workers(jobs int) int {
@@ -219,6 +233,10 @@ func sweepPoint(pct float64, res *Result) SweepPoint {
 		Revocations:         res.Revocations,
 		Evacuations:         res.Evacuations,
 		ShockKills:          res.ShockKills,
+		DisplacedDowntime:   res.DisplacedDowntime,
+		RiskRejections:      res.RiskRejections,
+		OnDemandRevenue:     res.OnDemandRevenue,
+		FleetCost:           res.FleetCost,
 		SLOViolationSeconds: res.SLOViolationSeconds,
 		SLOViolationRate:    res.SLOViolationRate,
 		SLOLatencyP99:       res.SLOLatencyP99,
@@ -288,6 +306,8 @@ func sweepGrid(tr *trace.AzureTrace, s *trace.Stream, strategies []string, overc
 		cfg.Shards = opts.Shards
 		cfg.PlacementPartitions = opts.PlacementPartitions
 		cfg.ShockConfig = opts.ShockConfig
+		cfg.Portfolio = opts.Portfolio
+		cfg.Risk = opts.Risk
 		applySLO(&cfg, opts.SLO)
 		res, err := Run(cfg)
 		if err != nil {
@@ -371,6 +391,8 @@ func ReplicatedSweep(gen func(seed int64) *trace.AzureTrace, seeds []int64, stra
 		cfg.Shards = opts.Shards
 		cfg.PlacementPartitions = opts.PlacementPartitions
 		cfg.ShockConfig = opts.ShockConfig
+		cfg.Portfolio = opts.Portfolio
+		cfg.Risk = opts.Risk
 		applySLO(&cfg, opts.SLO)
 		res, err := Run(cfg)
 		if err != nil {
@@ -408,11 +430,14 @@ func AverageSweeps(reps [][]*SweepResult) []*SweepResult {
 		avg := &SweepResult{Strategy: first.Strategy, Points: make([]SweepPoint, len(first.Points))}
 		for pi, p := range first.Points {
 			acc := SweepPoint{OvercommitPct: p.OvercommitPct, Revenue: map[string]float64{}}
-			var servers, admitted, revocations, evacuations, kills float64
+			var servers, admitted, revocations, evacuations, kills, riskRej float64
 			for _, rep := range reps {
 				q := rep[si].Points[pi]
 				acc.FailureProbability += q.FailureProbability / n
 				acc.ThroughputLossPct += q.ThroughputLossPct / n
+				acc.DisplacedDowntime += q.DisplacedDowntime / n
+				acc.OnDemandRevenue += q.OnDemandRevenue / n
+				acc.FleetCost += q.FleetCost / n
 				acc.SLOViolationSeconds += q.SLOViolationSeconds / n
 				acc.SLOViolationRate += q.SLOViolationRate / n
 				acc.SLOLatencyP99 += q.SLOLatencyP99 / n
@@ -421,6 +446,7 @@ func AverageSweeps(reps [][]*SweepResult) []*SweepResult {
 				revocations += float64(q.Revocations) / n
 				evacuations += float64(q.Evacuations) / n
 				kills += float64(q.ShockKills) / n
+				riskRej += float64(q.RiskRejections) / n
 				for name, v := range q.Revenue {
 					acc.Revenue[name] += v / n
 				}
@@ -430,6 +456,7 @@ func AverageSweeps(reps [][]*SweepResult) []*SweepResult {
 			acc.Revocations = int(revocations + 0.5)
 			acc.Evacuations = int(evacuations + 0.5)
 			acc.ShockKills = int(kills + 0.5)
+			acc.RiskRejections = int(riskRej + 0.5)
 			avg.Points[pi] = acc
 		}
 		out[si] = avg

@@ -104,10 +104,12 @@ func ParseShockScenario(s string) (ShockScenario, error) {
 }
 
 // Diurnal revocation window: revocations are admitted only between
-// these day-relative offsets (the provider's daily demand peak).
+// these day-relative offsets (the provider's daily demand peak). The
+// constants are exported so the analytic risk model (internal/risk) can
+// integrate hazard over exactly the window the generator uses.
 const (
-	diurnalWindowStart = 10 * 3600.0
-	diurnalWindowLen   = 6 * 3600.0
+	DiurnalWindowStart = 10 * 3600.0
+	DiurnalWindowLen   = 6 * 3600.0
 )
 
 // ShockConfig parameterises GenerateShocks.
@@ -128,8 +130,63 @@ type ShockConfig struct {
 	// revoked; candidate revocations that would exceed it are dropped
 	// (default 0.5, minimum one server).
 	MaxOutFraction float64
+	// RateScale, when non-nil, multiplies RatePerDay per server: server
+	// s revokes at RatePerDay*RateScale[s] per day (servers past the
+	// slice length scale by 1). This is the portfolio-fleet hook — cheap
+	// server types carry higher revocation rates. For rack shocks the
+	// shocked rack is drawn weighted by the rack's summed scale, so
+	// per-server expectations still follow the scales. A nil RateScale
+	// reproduces the historical schedules bit-for-bit.
+	RateScale []float64
 	// Seed drives the schedule's RNG.
 	Seed int64
+}
+
+// WithDefaults returns the config with unset fields replaced by the
+// generator defaults — the exact parameters GenerateShocks runs with,
+// which is what the analytic risk model must read.
+func (c ShockConfig) WithDefaults() ShockConfig {
+	c.applyDefaults()
+	return c
+}
+
+// scale returns server s's rate multiplier.
+func (c *ShockConfig) scale(s int) float64 {
+	if s >= len(c.RateScale) {
+		return 1
+	}
+	return c.RateScale[s]
+}
+
+// MaxOutServers converts MaxOutFraction into the simultaneous-revocation
+// cap for a fleet of nServers (minimum one). The epsilon absorbs float
+// representation error so an exactly-at-cap fraction admits the full
+// count: 0.3 of 10 servers caps at 3, not int(2.999...) = 2.
+func (c ShockConfig) MaxOutServers(nServers int) int {
+	c.applyDefaults()
+	maxOut := int(c.MaxOutFraction*float64(nServers) + 1e-9)
+	if maxOut < 1 {
+		maxOut = 1
+	}
+	return maxOut
+}
+
+// EffectiveRackSize is the correlated group size rack shocks actually
+// use for a fleet of nServers: RackSize clamped to the fleet and to the
+// MaxOutServers cap. Without the cap clamp a rack wider than the cap
+// starves its tail — the admission sweep visits same-instant candidates
+// in server order, so servers past the cap inside an oversized rack
+// would never be revoked.
+func (c ShockConfig) EffectiveRackSize(nServers int) int {
+	c.applyDefaults()
+	rack := c.RackSize
+	if rack > nServers {
+		rack = nServers
+	}
+	if maxOut := c.MaxOutServers(nServers); rack > maxOut {
+		rack = maxOut
+	}
+	return rack
 }
 
 func (c *ShockConfig) applyDefaults() {
@@ -153,9 +210,11 @@ type outage struct {
 	server     int
 }
 
-// minOutage floors every outage duration so a revoke and its restore
-// can never collapse onto the same instant.
-const minOutage = 60.0
+// MinOutageSeconds floors every outage duration so a revoke and its
+// restore can never collapse onto the same instant. Exported because
+// the floor shifts the outage-duration mean, and the analytic risk
+// model must account for exactly the distribution drawOutage samples.
+const MinOutageSeconds = 60.0
 
 // GenerateShocks builds the deterministic shock schedule for a cluster
 // of nServers. The returned slice is sorted by (At, Server, Kind); ties
@@ -188,22 +247,27 @@ func GenerateShocks(cfg ShockConfig, nServers int) []CapacityShock {
 
 // drawOutage samples one outage duration (exponential, floored).
 func drawOutage(rng *rand.Rand, cfg ShockConfig) float64 {
-	return math.Max(minOutage, rng.ExpFloat64()*cfg.OutageMean)
+	return math.Max(MinOutageSeconds, rng.ExpFloat64()*cfg.OutageMean)
 }
 
 // poissonOutages draws each server's revocation timeline independently:
-// exponential gaps at RatePerDay, exponential outages. Servers are
-// visited in index order off one seeded RNG, so the candidate list is a
-// pure function of the config.
+// exponential gaps at RatePerDay (times the server's RateScale),
+// exponential outages. Servers are visited in index order off one
+// seeded RNG, so the candidate list is a pure function of the config.
 func poissonOutages(rng *rand.Rand, cfg ShockConfig, nServers int) []outage {
 	gapMean := 86400 / cfg.RatePerDay
 	var out []outage
 	for s := 0; s < nServers; s++ {
-		t := rng.ExpFloat64() * gapMean
+		sc := cfg.scale(s)
+		if sc <= 0 {
+			continue
+		}
+		gm := gapMean / sc
+		t := rng.ExpFloat64() * gm
 		for t < cfg.Duration {
 			end := t + drawOutage(rng, cfg)
 			out = append(out, outage{start: t, end: end, server: s})
-			t = end + rng.ExpFloat64()*gapMean
+			t = end + rng.ExpFloat64()*gm
 		}
 	}
 	return out
@@ -214,19 +278,24 @@ func poissonOutages(rng *rand.Rand, cfg ShockConfig, nServers int) []outage {
 // kept only when they fall inside [10:00, 16:00) of their day, so the
 // per-day expectation still matches RatePerDay.
 func diurnalOutages(rng *rand.Rand, cfg ShockConfig, nServers int) []outage {
-	gapMean := diurnalWindowLen / cfg.RatePerDay
+	gapMean := DiurnalWindowLen / cfg.RatePerDay
 	var out []outage
 	for s := 0; s < nServers; s++ {
-		t := rng.ExpFloat64() * gapMean
+		sc := cfg.scale(s)
+		if sc <= 0 {
+			continue
+		}
+		gm := gapMean / sc
+		t := rng.ExpFloat64() * gm
 		for t < cfg.Duration {
 			dayOff := math.Mod(t, 86400)
-			if dayOff >= diurnalWindowStart && dayOff < diurnalWindowStart+diurnalWindowLen {
+			if dayOff >= DiurnalWindowStart && dayOff < DiurnalWindowStart+DiurnalWindowLen {
 				end := t + drawOutage(rng, cfg)
 				out = append(out, outage{start: t, end: end, server: s})
-				t = end + rng.ExpFloat64()*gapMean
+				t = end + rng.ExpFloat64()*gm
 				continue
 			}
-			t += rng.ExpFloat64() * gapMean
+			t += rng.ExpFloat64() * gm
 		}
 	}
 	return out
@@ -237,18 +306,51 @@ func diurnalOutages(rng *rand.Rand, cfg ShockConfig, nServers int) []outage {
 // takes out one whole contiguous rack of RackSize servers per shock,
 // restored together.
 func rackOutages(rng *rand.Rand, cfg ShockConfig, nServers int) []outage {
-	rack := cfg.RackSize
-	if rack > nServers {
-		rack = nServers
-	}
+	// The rack clamps to the MaxOutServers cap as well as the fleet: an
+	// oversized rack would otherwise have its tail servers dropped by the
+	// admission sweep on every shock (same-instant candidates admit in
+	// server order), starving them of revocations entirely.
+	rack := cfg.EffectiveRackSize(nServers)
 	nRacks := (nServers + rack - 1) / rack
-	// Each shock revokes `rack` servers, so the cluster-level rate is
-	// nServers*RatePerDay/rack per day.
-	gapMean := 86400 * float64(rack) / (cfg.RatePerDay * float64(nServers))
+	// Rack weights follow the per-server rate scales: each shock draws
+	// its rack proportional to the rack's summed scale, so a rack's
+	// revocation rate is RatePerDay * avg(scale in rack) per server per
+	// day. With no RateScale the draw degenerates to rng.Intn(nRacks),
+	// keeping historical schedules bit-identical.
+	var weights []float64
+	totW := float64(nServers)
+	if len(cfg.RateScale) > 0 {
+		weights = make([]float64, nRacks)
+		totW = 0
+		for g := 0; g < nRacks; g++ {
+			for s := g * rack; s < (g+1)*rack && s < nServers; s++ {
+				weights[g] += cfg.scale(s)
+			}
+			totW += weights[g]
+		}
+		if totW <= 0 {
+			return nil
+		}
+	}
+	// Each shock revokes `rack` servers, so the cluster-level rate that
+	// keeps the per-server expectation at RatePerDay*scale is
+	// RatePerDay*totW/rack per day.
+	gapMean := 86400 * float64(rack) / (cfg.RatePerDay * totW)
 	var out []outage
 	t := rng.ExpFloat64() * gapMean
 	for t < cfg.Duration {
-		g := rng.Intn(nRacks)
+		var g int
+		if weights == nil {
+			g = rng.Intn(nRacks)
+		} else {
+			u := rng.Float64() * totW
+			for g = 0; g < nRacks-1; g++ {
+				if u < weights[g] {
+					break
+				}
+				u -= weights[g]
+			}
+		}
 		end := t + drawOutage(rng, cfg)
 		for s := g * rack; s < (g+1)*rack && s < nServers; s++ {
 			out = append(out, outage{start: t, end: end, server: s})
@@ -266,10 +368,7 @@ func admitOutages(cands []outage, cfg ShockConfig, nServers int) []CapacityShock
 	if len(cands) == 0 {
 		return nil
 	}
-	maxOut := int(cfg.MaxOutFraction * float64(nServers))
-	if maxOut < 1 {
-		maxOut = 1
-	}
+	maxOut := cfg.MaxOutServers(nServers)
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].start != cands[j].start {
 			return cands[i].start < cands[j].start

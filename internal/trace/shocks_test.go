@@ -80,7 +80,7 @@ func TestDiurnalShocksStayInWindow(t *testing.T) {
 			continue
 		}
 		off := math.Mod(sh.At, 86400)
-		if off < diurnalWindowStart || off >= diurnalWindowStart+diurnalWindowLen {
+		if off < DiurnalWindowStart || off >= DiurnalWindowStart+DiurnalWindowLen {
 			t.Fatalf("revocation at %g (day offset %g) outside the [10h,16h) window", sh.At, off)
 		}
 	}
@@ -119,6 +119,153 @@ func TestRackShocksAreCorrelated(t *testing.T) {
 				t.Fatalf("shock at %g spans racks: servers %v", at, servers)
 			}
 		}
+	}
+}
+
+// TestMaxOutServersBoundary pins the exactly-at-cap admission boundary:
+// MaxOutFraction*nServers that is an exact integer mathematically must
+// cap at that integer, not at int() of its float-representation
+// neighbour (0.3*10 = 2.999...96 used to truncate to 2).
+func TestMaxOutServersBoundary(t *testing.T) {
+	cases := []struct {
+		frac string
+		f    float64
+		n    int
+		want int
+	}{
+		{"0.3 of 10", 0.3, 10, 3},
+		{"0.7 of 10", 0.7, 10, 7},
+		{"0.5 of 10", 0.5, 10, 5},
+		{"0.5 of 9", 0.5, 9, 4},
+		{"0.1 of 3", 0.1, 3, 1}, // floor: never below one server
+		{"1.0 of 6", 1.0, 6, 6},
+	}
+	for _, c := range cases {
+		cfg := ShockConfig{MaxOutFraction: c.f}
+		if got := cfg.MaxOutServers(c.n); got != c.want {
+			t.Errorf("%s: MaxOutServers = %d, want %d", c.frac, got, c.want)
+		}
+	}
+	// End to end: with MaxOutFraction=0.3 over 10 servers, a schedule may
+	// hold exactly 3 servers out at once — and a dense-enough candidate
+	// stream does reach that cap.
+	cfg := shockCfg(ShockPoisson)
+	cfg.RatePerDay, cfg.MaxOutFraction, cfg.OutageMean = 16, 0.3, 6*3600
+	shocks := GenerateShocks(cfg, 10)
+	out, peak := 0, 0
+	for _, sh := range shocks {
+		switch sh.Kind {
+		case ShockRevoke:
+			out++
+		case ShockRestore:
+			out--
+		}
+		if out > peak {
+			peak = out
+		}
+	}
+	if peak != 3 {
+		t.Fatalf("peak simultaneous revocations = %d, want the exact cap 3", peak)
+	}
+}
+
+// TestRackShocksClampedToFleetAndCap pins the RackSize > nServers edge
+// (the rack clamps to the fleet) and the RackSize > MaxOutServers edge
+// (the rack clamps to the cap, so no server is starved of revocations —
+// before the clamp, same-instant candidates admitted in server order
+// meant servers past the cap inside an oversized rack never revoked).
+func TestRackShocksClampedToFleetAndCap(t *testing.T) {
+	cases := []struct {
+		name           string
+		rackSize, n    int
+		maxOutFraction float64
+		wantGroup      int // revocations per shock instant
+		wantAllRevoked bool
+	}{
+		{"rack wider than fleet", 64, 6, 1.0, 6, true},
+		{"rack wider than cap", 8, 12, 0.25, 3, true},
+		{"rack at cap exactly", 4, 16, 0.25, 4, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := shockCfg(ShockRack)
+			cfg.RackSize, cfg.MaxOutFraction = c.rackSize, c.maxOutFraction
+			cfg.RatePerDay, cfg.Duration = 4, 30*86400
+			shocks := GenerateShocks(cfg, c.n)
+			if len(shocks) == 0 {
+				t.Fatal("no shocks generated")
+			}
+			byTime := map[float64]int{}
+			revoked := make([]bool, c.n)
+			for _, sh := range shocks {
+				if sh.Kind != ShockRevoke {
+					continue
+				}
+				byTime[sh.At]++
+				revoked[sh.Server] = true
+			}
+			for at, k := range byTime {
+				if k > c.wantGroup {
+					t.Fatalf("shock at %g revoked %d servers, want <= %d", at, k, c.wantGroup)
+				}
+			}
+			if c.wantAllRevoked {
+				for s, ok := range revoked {
+					if !ok {
+						t.Errorf("server %d never revoked over 30 days at rate 4/day — rack starvation", s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRateScaleShapesPerServerRates: the portfolio hook. A nil
+// RateScale reproduces historical schedules bit-for-bit; a set one
+// shifts revocation mass toward the scaled-up servers.
+func TestRateScaleShapesPerServerRates(t *testing.T) {
+	for _, kind := range []ShockScenario{ShockPoisson, ShockDiurnal, ShockRack} {
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := shockCfg(kind)
+			base := GenerateShocks(cfg, 16)
+			cfg.RateScale = []float64{}
+			if got := GenerateShocks(cfg, 16); !reflect.DeepEqual(base, got) {
+				t.Fatal("empty RateScale changed the schedule vs nil")
+			}
+			// Servers 8..15 revoke 4x as often as 0..7. Over a long
+			// horizon the high-rate half must carry the clear majority of
+			// revocations.
+			cfg = shockCfg(kind)
+			cfg.Duration, cfg.MaxOutFraction = 60*86400, 1
+			cfg.RateScale = make([]float64, 16)
+			for s := range cfg.RateScale {
+				if s < 8 {
+					cfg.RateScale[s] = 0.25
+				} else {
+					cfg.RateScale[s] = 1
+				}
+			}
+			if kind == ShockRack {
+				cfg.RackSize = 4 // racks align with the scale split
+			}
+			var lo, hi int
+			for _, sh := range GenerateShocks(cfg, 16) {
+				if sh.Kind != ShockRevoke {
+					continue
+				}
+				if sh.Server < 8 {
+					lo++
+				} else {
+					hi++
+				}
+			}
+			if lo+hi == 0 {
+				t.Fatal("no revocations generated")
+			}
+			if float64(hi) < 2*float64(lo) {
+				t.Fatalf("rate-scaled servers got %d revocations vs %d for the 4x-slower half — scales not applied", hi, lo)
+			}
+		})
 	}
 }
 
