@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench-scale-10m bench-matrix bench-revocation bench-slo bench-risk bench ci
+.PHONY: build test vet race race-placement bench-smoke bench-allocs bench-scale bench-scale-1m bench-scale-10m bench-matrix bench-revocation bench-slo bench-risk bench-pressure bench ci
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ race:
 # (hazard-banded + headroom-gated) placement paths and the engines
 # driving them — a fast, explicit signal beside the full `race` run.
 race-placement:
-	$(GO) test -race -run 'Partition|PlaceVMs|Propose|Sharded|Preemption|Revo|Shock|Resize|Risk|Hazard|Headroom' ./internal/cluster ./internal/clustersim
+	$(GO) test -race -run 'Partition|PlaceVMs|Propose|Sharded|Preemption|Revo|Shock|Resize|Risk|Hazard|Headroom|Pressure' ./internal/cluster ./internal/clustersim
 
 # One iteration of the 10k-VM sweep benchmarks: proves the parallel
 # engine end-to-end without the cost of a full benchmark session.
@@ -43,17 +43,17 @@ bench-smoke:
 # benchmark fails the build instead of shrinking the gate. The
 # benchmark output is kept in BENCH_allocs.txt for CI to archive.
 bench-allocs:
-	$(GO) test -run '^$$' -bench 'PolicyPassSteadyState|ProposeSteadyState|RiskProposeSteadyState' -benchmem ./internal/cluster | tee BENCH_allocs.txt
+	$(GO) test -run '^$$' -bench 'PolicyPassSteadyState|ProposeSteadyState|RiskProposeSteadyState|PressureScan' -benchmem ./internal/cluster | tee BENCH_allocs.txt
 	$(GO) test -run '^$$' -bench 'SamplePassSLOSteadyState|CalendarQueueSteadyState' -benchmem ./internal/clustersim | tee -a BENCH_allocs.txt
 	@awk 'BEGIN { want["BenchmarkPolicyPassSteadyState"]; want["BenchmarkProposeSteadyState"]; \
-			want["BenchmarkRiskProposeSteadyState"]; \
+			want["BenchmarkRiskProposeSteadyState"]; want["BenchmarkPressureScan"]; \
 			want["BenchmarkSamplePassSLOSteadyState"]; want["BenchmarkCalendarQueueSteadyState"] } \
 		/^Benchmark/ && $$(NF) == "allocs/op" { name = $$1; sub(/-[0-9]+$$/, "", name); \
 			if (name in want) { seen[name] = 1; allocs = $$(NF-1) + 0; \
 				if (allocs > 0) { failed = 1; print "FAIL: " name " allocates " allocs " allocs/op (want 0)" } } } \
 		END { for (n in want) if (!(n in seen)) { failed = 1; print "FAIL: benchmark " n " missing from output" } \
 		if (failed) exit 1; \
-		print "OK: policy + propose (risk-blind + risk-aware) + SLO sample + calendar queue steady states at 0 allocs/op" }' BENCH_allocs.txt
+		print "OK: policy + propose (risk-blind + risk-aware) + pressure scan + SLO sample + calendar queue steady states at 0 allocs/op" }' BENCH_allocs.txt
 
 # Cloud-scale single-run smoke: one 50k-VM deflation run through the
 # capacity-indexed manager (sharded across all cores), reported to
@@ -107,8 +107,16 @@ bench-slo:
 bench-risk:
 	$(GO) run ./cmd/benchreport -risk 4000 -riskout BENCH_risk.json
 
+# Pressure-index differential perf gate: a high-overcommit 100k-VM run
+# (pressure scans dominate) executed twice — bound-pruned descent vs
+# the retained full linear scan — on one trace. Fails unless the two
+# runs' results are identical (up to the scan meters) AND the pruned
+# run's wall clock is strictly lower (BENCH_pressure.json).
+bench-pressure:
+	$(GO) run ./cmd/benchreport -pressure 100000 -pressureout BENCH_pressure.json
+
 # The full reproduction benchmark suite (all figures).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-ci: build vet race bench-smoke bench-allocs bench-scale bench-revocation bench-slo bench-risk
+ci: build vet race bench-smoke bench-allocs bench-scale bench-revocation bench-slo bench-risk bench-pressure

@@ -163,6 +163,53 @@ func MinFitting(indexes []*Index, lowers []float64, fits func(name string) bool)
 	return bestName, bestKey, found
 }
 
+// DescIter iterates an Index in descending (key, name) order — the
+// best-first order of a bound-keyed pressure index, where key is an
+// upper bound on any demand's achievable fitness and the scan wants the
+// loosest bound first. The iterator owns a reusable explicit stack (the
+// right spine of the subtrees still to visit), so steady-state scans
+// are allocation-free once the stack has grown to the tree height.
+//
+// The iterator reads the treap in place: it is valid only while the
+// index is not mutated (Upsert/Delete invalidate it). The cluster
+// manager guarantees this by syncing dirty servers before a scan and
+// never mutating index keys mid-scan — failed placement probes leave
+// host state untouched.
+type DescIter struct {
+	stack []*node
+}
+
+// Reset points the iterator at ix's maximum (key, name) entry.
+func (it *DescIter) Reset(ix *Index) {
+	it.stack = it.stack[:0]
+	for n := ix.root; n != nil; n = n.right {
+		it.stack = append(it.stack, n)
+	}
+}
+
+// Peek returns the current entry without advancing.
+func (it *DescIter) Peek() (name string, key float64, ok bool) {
+	if len(it.stack) == 0 {
+		return "", 0, false
+	}
+	n := it.stack[len(it.stack)-1]
+	return n.name, n.key, true
+}
+
+// Next advances past the current entry. Popping a node exposes its
+// in-order predecessor: the maximum of its left subtree (that subtree's
+// right spine is pushed), or the node below it on the stack.
+func (it *DescIter) Next() {
+	if len(it.stack) == 0 {
+		return
+	}
+	n := it.stack[len(it.stack)-1]
+	it.stack = it.stack[:len(it.stack)-1]
+	for c := n.left; c != nil; c = c.right {
+		it.stack = append(it.stack, c)
+	}
+}
+
 // Min returns the smallest (key, name) entry.
 func (ix *Index) Min() (name string, key float64, ok bool) {
 	n := ix.root

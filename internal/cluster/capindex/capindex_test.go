@@ -206,6 +206,58 @@ func TestMinFitting(t *testing.T) {
 	}
 }
 
+// TestDescIterMatchesReference drives the descending iterator against
+// the sorted oracle under churn — the bound-pruned pressure scan leans
+// on Peek/Next realizing exactly the reverse (key, name) order.
+func TestDescIterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ix := New()
+	ref := refModel{}
+	var it DescIter
+	for op := 0; op < 3000; op++ {
+		name := fmt.Sprintf("node-%03d", rng.Intn(150))
+		switch rng.Intn(8) {
+		case 0: // delete
+			ix.Delete(name)
+			delete(ref, name)
+		default: // upsert with deliberate key collisions
+			key := float64(rng.Intn(40)) / 40
+			ix.Upsert(name, key)
+			ref[name] = key
+		}
+		if op%37 != 0 {
+			continue
+		}
+		it.Reset(ix)
+		sorted := ref.sorted()
+		for i := len(sorted) - 1; i >= 0; i-- {
+			n, k, ok := it.Peek()
+			if !ok || n != sorted[i].name || k != sorted[i].key {
+				t.Fatalf("op %d pos %d: Peek = %q %v %v, want %q %v",
+					op, len(sorted)-1-i, n, k, ok, sorted[i].name, sorted[i].key)
+			}
+			it.Next()
+		}
+		if _, _, ok := it.Peek(); ok {
+			t.Fatalf("op %d: iterator not exhausted after %d entries", op, len(sorted))
+		}
+		it.Next() // Next past the end is a no-op, not a panic.
+	}
+}
+
+// TestDescIterEmpty pins the empty-index edge.
+func TestDescIterEmpty(t *testing.T) {
+	var it DescIter
+	it.Reset(New())
+	if _, _, ok := it.Peek(); ok {
+		t.Fatal("Peek on empty index should miss")
+	}
+	it.Next()
+	if _, _, ok := it.Peek(); ok {
+		t.Fatal("Peek after Next on empty index should miss")
+	}
+}
+
 func TestDirtySet(t *testing.T) {
 	s := NewDirtySet()
 	if got := s.Drain(); got != nil {

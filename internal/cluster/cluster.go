@@ -7,15 +7,25 @@
 //
 // # Placement at scale
 //
-// The manager keeps an incremental capacity index (capindex) per
-// priority partition: an ordered index of servers keyed by dominant free
-// share, plus a cached availability vector per server. Hypervisor
-// aggregate-change callbacks mark servers dirty; each query first
-// refreshes only the dirty servers, so the surplus-first pass is
-// O(log servers) and the under-pressure fitness ranking never re-walks a
-// clean server's domains. Config.ReferencePlacement retains the
-// brute-force linear-scan path, which implements the identical selection
-// rule — the differential test suite asserts both paths place bit-for-bit
+// The manager keeps two incremental indexes (capindex) per priority
+// partition, maintained together under one dirty-flag discipline:
+//
+//   - the surplus index, keyed by dominant free share, answering the
+//     tightest-fit "who can host this with no deflation" query in
+//     O(log servers);
+//   - the pressure index, keyed by |availability| — a demand-independent
+//     upper bound on any VM's achievable cosine fitness (Cauchy–
+//     Schwarz: A·D/|D| <= |A| for non-negative vectors) — answering the
+//     under-pressure ranking by a best-first branch-and-bound descent
+//     (pressure.go) that computes exact fitness only until the running
+//     best provably beats the bound of every unexplored server.
+//
+// Hypervisor aggregate-change callbacks mark servers dirty; each query
+// first refreshes only the dirty servers, so neither pass ever re-walks
+// a clean server's domains. Config.ReferencePlacement retains the
+// brute-force linear-scan path, and Config.FullPressureScan the linear
+// indexed pressure scan; all paths implement the identical selection
+// rule and the differential test suite asserts they place bit-for-bit
 // identically.
 //
 // With Config.PlacementPartitions > 1 the servers are split across
@@ -113,6 +123,14 @@ type Config struct {
 	// bit-for-bit identical placements; the flag exists for differential
 	// testing and for measuring what the index buys.
 	ReferencePlacement bool
+	// FullPressureScan keeps the linear indexed under-pressure scan —
+	// every pool server scored from its cached availability vector —
+	// instead of the bound-pruned best-first descent over the pressure
+	// index. Both paths realize the identical strict candidate order
+	// (band asc, fitness desc, add-index asc) and place bit-for-bit
+	// identically; the flag exists for differential testing and for
+	// measuring what the pruning buys (make bench-pressure).
+	FullPressureScan bool
 	// ReinflateShards caps how many goroutines a RemoveVMs batch may use
 	// to reinflate its affected servers. 0 or 1 keeps reinflation
 	// strictly sequential. Per-server reinflation reads and writes only
@@ -302,55 +320,82 @@ type Manager struct {
 	evacuating   bool
 	evacDCs      []hypervisor.DomainConfig
 
-	// cands is the reusable under-pressure candidate buffer; affected
-	// and reinflateErrs are the RemoveVMs batch buffers. All are used
-	// only under mu, so reusing them keeps the hot paths allocation-free
-	// in steady state.
+	// cands is the reusable under-pressure candidate buffer of the
+	// full-scan path; affected and reinflateErrs are the RemoveVMs batch
+	// buffers. All are used only under mu, so reusing them keeps the hot
+	// paths allocation-free in steady state.
 	cands         candList
 	affected      []*Server
 	reinflateErrs []error
+
+	// Pruned pressure-scan arenas (pressure.go), used only under mu:
+	// the descending bound-index iterators (one per group index, inner
+	// stacks reused across scans), the candBefore-ordered min-heap of
+	// exactly-scored candidates, and the group key scratch.
+	pressIters []capindex.DescIter
+	pressHeap  candList
+	pressKeys  []int
+
+	// Pressure-scan observability, maintained on every placement path:
+	// how many arrivals fell through to the under-pressure ranking, how
+	// many servers had their exact fitness computed, and how many the
+	// bound/fit pruning skipped. pressuredArrivals is invariant across
+	// scan modes and partition/shard counts; scored and pruned are
+	// partition-invariant but differ between the pruned and full-scan
+	// modes by construction.
+	pressuredArrivals int
+	pressureScored    int
+	pressurePruned    int
 
 	// Batch-placement state, reused across PlaceVMs calls and touched
 	// only under mu (the propose arenas live on the partitions). The
 	// touched set tracks servers mutated by earlier commits of the
 	// current batch — the conflict signal for proposal validation.
-	one          [1]hypervisor.DomainConfig
-	results      []Placement
-	batchDCs     []hypervisor.DomainConfig
-	batchPools   []int
-	batchBanded  []bool
-	needPressure []bool
-	touched      map[*Server]bool
-	touchedList  []*Server
-	touchedCands candList
-	walkHeads    []int
-	foldHeads    []int
-	mfIdx        []*capindex.Index
-	mfLow        []float64
+	one         [1]hypervisor.DomainConfig
+	results     []Placement
+	batchDCs    []hypervisor.DomainConfig
+	batchPools  []int
+	batchBanded []bool
+	touched     map[*Server]bool
+	touchedList []*Server
+	foldHeads   []int
+	mfIdx       []*capindex.Index
+	mfLow       []float64
 
 	// Phase worker pool (partition.go): lazily spawned when there is
-	// more than one partition, stopped by Close. phase and sortVM are
-	// the dispatcher-to-worker arguments, ordered by the work channel.
+	// more than one partition, stopped by Close. phase is the
+	// dispatcher-to-worker argument, ordered by the work channel.
 	phase  int
-	sortVM int
 	workCh chan int
 	wg     sync.WaitGroup
 	closed bool
 
 	// Per-phase wall-time accumulators (Config.CollectTimings), written
-	// under mu by the placement/reinflation paths.
+	// under mu by the placement/reinflation paths. surplusTime and
+	// pressureTime are serial sub-phases included within commitTime —
+	// the surplus candidate queries and under-pressure scans of the
+	// sequential and commit paths (the parallel propose phase's surplus
+	// work is measured as proposeTime and never double-booked here).
 	proposeTime   time.Duration
 	commitTime    time.Duration
+	surplusTime   time.Duration
+	pressureTime  time.Duration
 	reinflateTime time.Duration
 }
 
 // PhaseTimings is the per-phase wall-time breakdown a manager
 // accumulates when Config.CollectTimings is set: the parallel propose
-// phase, the serial commit walk (all placement time, with a single
-// partition), and the reinflation passes.
+// phase, the serial commit walk (all serial placement time, on the
+// single-partition path as much as the batch engine), and the
+// reinflation passes. Surplus and Pressure attribute the commit time
+// further — the surplus candidate queries and the under-pressure scans
+// — and are included within Commit, not additional to it, so artifacts
+// compare like with like across partition counts.
 type PhaseTimings struct {
 	Propose   time.Duration
 	Commit    time.Duration
+	Surplus   time.Duration
+	Pressure  time.Duration
 	Reinflate time.Duration
 }
 
@@ -359,7 +404,26 @@ type PhaseTimings struct {
 func (m *Manager) PhaseTimings() PhaseTimings {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return PhaseTimings{Propose: m.proposeTime, Commit: m.commitTime, Reinflate: m.reinflateTime}
+	return PhaseTimings{
+		Propose:   m.proposeTime,
+		Commit:    m.commitTime,
+		Surplus:   m.surplusTime,
+		Pressure:  m.pressureTime,
+		Reinflate: m.reinflateTime,
+	}
+}
+
+// PressureStats returns the under-pressure scan counters: how many
+// placements fell through to the pressure ranking, how many servers had
+// their exact fitness computed, and how many the bound/fit pruning
+// skipped without scoring. Arrivals is invariant across scan modes and
+// partition/shard counts; scored and pruned are partition-invariant but
+// differ between the pruned descent and the full-scan/reference modes
+// (a full scan scores every pool server and prunes none).
+func (m *Manager) PressureStats() (arrivals, scored, pruned int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pressuredArrivals, m.pressureScored, m.pressurePruned
 }
 
 // DeflationEvents returns how many times an existing VM's allocation
@@ -416,6 +480,7 @@ func NewManager(cfg Config) *Manager {
 		m.parts[i] = &placePartition{
 			id:      i,
 			indexes: make(map[int]*capindex.Index),
+			bounds:  make(map[int]*capindex.Index),
 			maxCap:  make(map[int]resources.Vector),
 			dirty:   capindex.NewDirtySet(),
 		}
@@ -487,6 +552,7 @@ func (m *Manager) AddServerSpec(spec ServerSpec) (*Server, error) {
 	key := m.poolKey(partition, band)
 	if pp.indexes[key] == nil {
 		pp.indexes[key] = capindex.New()
+		pp.bounds[key] = capindex.New()
 	}
 	pp.maxCap[key] = pp.maxCap[key].Max(capacity)
 	m.totCapacity = m.totCapacity.Add(capacity)
@@ -697,6 +763,24 @@ func (m *Manager) PlaceVMs(dcs []hypervisor.DomainConfig, out []Placement) []Pla
 // magnitude below this margin.
 const reserveMargin = 1e-3
 
+// cannotReclaim is the feasibility pre-filter shared by tryPlaceLocked
+// and the bound-pruned pressure descent: it reports that s certainly
+// cannot host dc even after deflating every resident to its floor plus
+// the newcomer's own deflatable range. One definition — the identical
+// float expressions — is what guarantees the pruned scan's fit-skip set
+// equals exactly the set of servers tryPlaceLocked would refuse, so
+// skipping them before scoring can never change a placement. Reads only
+// cached per-server state; called with the manager's lock held.
+func cannotReclaim(s *Server, dc hypervisor.DomainConfig, ncRange resources.Vector) bool {
+	limit := s.agg.DeflatableReserve.Add(ncRange)
+	for _, k := range resources.Kinds {
+		if dc.Size.Get(k)-s.free.Get(k) > limit.Get(k)+reserveMargin {
+			return true
+		}
+	}
+	return false
+}
+
 // tryPlaceLocked attempts one under-pressure placement, recording the
 // bookkeeping on success. Infeasible servers — where even deflating
 // every resident to its floor plus the newcomer's own range cannot
@@ -706,11 +790,8 @@ const reserveMargin = 1e-3
 // Called with m.mu held; the cached free/reserve vectors are valid
 // because failed placement attempts never mutate host state.
 func (m *Manager) tryPlaceLocked(s *Server, dc hypervisor.DomainConfig, ncRange resources.Vector) (*hypervisor.Domain, *Server, bool) {
-	limit := s.agg.DeflatableReserve.Add(ncRange)
-	for _, k := range resources.Kinds {
-		if dc.Size.Get(k)-s.free.Get(k) > limit.Get(k)+reserveMargin {
-			return nil, nil, false
-		}
+	if cannotReclaim(s, dc, ncRange) {
+		return nil, nil, false
 	}
 	d, deflations, err := PlaceOn(s, m.cfg, dc)
 	if err != nil {
@@ -760,6 +841,21 @@ func (c candList) Less(i, j int) bool { return candBefore(c[i], c[j]) }
 // many near-full servers fit on the dominant dimension but not the
 // others) and takes the minimum across partitions; the reference path
 // scans every server and applies the identical minimisation.
+// surplusCandidateTimedLocked is surplusCandidateLocked under the
+// surplus sub-phase timer: the serial placement paths (sequential and
+// commit) call through it so BENCH artifacts can attribute commit time
+// to the surplus query vs the pressure scan. Timing never changes the
+// candidate returned.
+func (m *Manager) surplusCandidateTimedLocked(pool int, size resources.Vector, banded bool) *Server {
+	if !m.cfg.CollectTimings {
+		return m.surplusCandidateLocked(pool, size, banded)
+	}
+	t0 := time.Now()
+	s := m.surplusCandidateLocked(pool, size, banded)
+	m.surplusTime += time.Since(t0)
+	return s
+}
+
 func (m *Manager) surplusCandidateLocked(pool int, size resources.Vector, banded bool) *Server {
 	if m.cfg.ReferencePlacement {
 		var best *Server

@@ -14,37 +14,32 @@
 //
 //   - Propose (parallel, side-effect-free): against the batch-start
 //     state, every partition computes for every VM its surplus bid (the
-//     partition's tightest-fit server with free capacity) and — for VMs
-//     no partition could surplus-place — its under-pressure fitness
-//     ranking from the cached availability vectors. Rankings are left
-//     unsorted with just the argmax recorded; segments are sorted
-//     on demand (in parallel) only when the argmax cannot absorb a VM,
-//     preserving the argmax-first fast path of the sequential engine.
+//     partition's tightest-fit server with free capacity).
 //   - Commit (serial, batch order): VMs commit in input order — the
 //     canonical trace order, so results cannot depend on the partition
 //     count. Each commit first drains the dirty servers (exactly the
-//     ones earlier commits touched), then validates the merged proposal:
-//     if no server in the VM's priority pool was touched by an earlier
-//     commit, the proposals are still exact and are used directly;
-//     otherwise the commit re-proposes — surplus from the live indexes,
-//     pressure by weaving the touched servers' live ranks into the
-//     partitions' sorted proposal segments (stale entries skipped), or
-//     by a full live re-rank when the VM had no pressure proposal at
-//     all. Touched sets are tiny (one server per earlier commit), so
-//     conflicts cost O(touched + log S), not a re-scan.
+//     ones earlier commits touched), then validates the merged surplus
+//     proposal: if no server in the VM's priority pool was touched by
+//     an earlier commit, the proposals are still exact and are used
+//     directly; otherwise the commit re-proposes surplus from the live
+//     indexes. VMs with no surplus anywhere fall through to the live
+//     under-pressure scan (pressure.go): a best-first branch-and-bound
+//     descent over the bound-keyed pressure indexes that computes exact
+//     fitness for only as many servers as the bounds cannot exclude —
+//     cheap enough that commits run it directly at live state, with no
+//     batch-start pressure proposals to validate or weave.
 //
 // Determinism: propose never mutates, commits happen one at a time in
 // batch order, and every merged selection uses the same strict total
 // orders as the sequential path — (free share, name) for surplus,
-// (fitness desc, server add-index asc) for pressure — so the outcome is
-// bit-for-bit identical to the sequential indexed path and to the
-// brute-force reference at any partition count, which the differential
-// suites assert.
+// (band, fitness desc, server add-index asc) for pressure — so the
+// outcome is bit-for-bit identical to the sequential indexed path and
+// to the brute-force reference at any partition count, which the
+// differential suites assert.
 package cluster
 
 import (
 	"runtime"
-	"sort"
 	"time"
 
 	"vmdeflate/internal/cluster/capindex"
@@ -61,17 +56,13 @@ type placePartition struct {
 	id      int
 	servers []*Server // in AddServer order (ascending Server.gidx)
 
-	indexes map[int]*capindex.Index    // per priority pool, this partition's servers only
-	maxCap  map[int]resources.Vector   // per-pool component-wise max capacity
-	dirty   *capindex.DirtySet         // fed by this partition's hosts' callbacks
+	indexes map[int]*capindex.Index  // per priority pool, this partition's servers only
+	bounds  map[int]*capindex.Index  // fitness-bound twin of indexes (pressure.go)
+	maxCap  map[int]resources.Vector // per-pool component-wise max capacity
+	dirty   *capindex.DirtySet       // fed by this partition's hosts' callbacks
 
-	// Propose arenas, valid for the current batch.
+	// Propose arena, valid for the current batch.
 	surplus []*Server // per-VM surplus bid (nil: none in this partition)
-	pcands  []cand    // flat under-pressure ranking arena
-	spans   []span    // per-VM [start,end) segment of pcands
-	argmax  []int32   // per-VM argmax position in pcands (-1: empty)
-	sortedv []bool    // per-VM: segment already sorted?
-	seg     candList  // reusable sort view over one segment
 
 	// Band-blind surplus scratch: the pool's per-band indexes and lower
 	// bounds joined into one MinFitting (only with Config.Risk, where a
@@ -86,17 +77,12 @@ type placePartition struct {
 	deltaA []resources.Vector
 }
 
-// span is one VM's segment of a partition's flat proposal arena.
-type span struct{ start, end int32 }
-
-// Worker phases. The dispatcher writes the phase (and any phase
-// argument) before the channel sends that release the workers, so the
-// reads in runPhase are ordered by the channel.
+// Worker phases. The dispatcher writes the phase before the channel
+// sends that release the workers, so the reads in runPhase are ordered
+// by the channel.
 const (
 	phaseSync = iota
 	phaseSurplus
-	phasePressure
-	phaseSort
 )
 
 // parallelSyncMin is the dirty-server count below which the refresh
@@ -210,10 +196,6 @@ func (m *Manager) runPhase(p *placePartition, phase int) {
 		p.refresh(m)
 	case phaseSurplus:
 		p.proposeSurplus(m)
-	case phasePressure:
-		p.proposePressure(m)
-	case phaseSort:
-		p.sortSegment(m.sortVM)
 	}
 }
 
@@ -279,12 +261,14 @@ func (p *placePartition) refresh(m *Manager) {
 		s.avail = availabilityFrom(total, agg)
 		key := m.poolKey(s.Partition, s.band)
 		if s.revoked {
-			// A revoked server stays out of the index no matter who
+			// A revoked server stays out of the indexes no matter who
 			// marked it dirty; its cached state is still refreshed so
 			// the delta fold keeps the cluster totals exact.
 			p.indexes[key].Delete(name)
+			p.bounds[key].Delete(name)
 		} else {
 			p.indexes[key].Upsert(name, s.freeShare)
+			p.bounds[key].Upsert(name, boundKey(s.avail))
 		}
 	}
 }
@@ -387,60 +371,6 @@ func (p *placePartition) proposeSurplus(m *Manager) {
 	}
 }
 
-// proposePressure records, for every VM the surplus phase could not
-// cover anywhere, this partition's under-pressure ranking: one cand per
-// pool server with its cosine fitness from the cached availability
-// vector, unsorted, with the argmax position noted. Sorting is deferred
-// to sortSegment so the argmax-first fast path never pays for it.
-func (p *placePartition) proposePressure(m *Manager) {
-	n := len(m.batchDCs)
-	p.spans = grow(p.spans, n)
-	p.argmax = grow(p.argmax, n)
-	p.sortedv = grow(p.sortedv, n)
-	p.pcands = p.pcands[:0]
-	for i := range m.batchDCs {
-		p.sortedv[i] = false
-		if !m.needPressure[i] {
-			p.spans[i] = span{}
-			p.argmax[i] = -1
-			continue
-		}
-		pool := m.batchPools[i]
-		size := m.batchDCs[i].Size
-		banded := m.batchBanded[i]
-		start := int32(len(p.pcands))
-		bestAt := int32(-1)
-		for _, s := range p.servers {
-			if s.revoked || (pool >= 0 && s.Partition != pool) {
-				continue
-			}
-			b := 0
-			if banded {
-				b = s.band
-			}
-			c := cand{s, Fitness(size, s.avail), s.gidx, b}
-			p.pcands = append(p.pcands, c)
-			if bestAt < 0 || candBefore(c, p.pcands[bestAt]) {
-				bestAt = int32(len(p.pcands) - 1)
-			}
-		}
-		p.spans[i] = span{start, int32(len(p.pcands))}
-		p.argmax[i] = bestAt
-	}
-}
-
-// sortSegment sorts VM i's proposal segment in place (idempotent).
-func (p *placePartition) sortSegment(i int) {
-	if p.sortedv[i] {
-		return
-	}
-	if sp := p.spans[i]; sp.end > sp.start {
-		p.seg = p.pcands[sp.start:sp.end]
-		sort.Sort(&p.seg)
-	}
-	p.sortedv[i] = true
-}
-
 // placeAllLocked fills m.results for dcs: the sequential per-VM path
 // when there is a single partition (or the brute-force reference is
 // selected), the propose/commit engine otherwise.
@@ -458,7 +388,10 @@ func (m *Manager) placeAllLocked(dcs []hypervisor.DomainConfig) {
 			m.results[i] = m.placeSequentialLocked(dcs[i])
 		}
 		if m.cfg.CollectTimings {
-			// With no propose phase, all placement time counts as commit.
+			// With no propose phase, commit is the whole placement time;
+			// the surplus/pressure sub-timers (accumulated inside
+			// placeSequentialLocked) attribute it further, so artifacts
+			// compare like with like against the batch engine.
 			m.commitTime += time.Since(t0)
 		}
 		return
@@ -476,7 +409,7 @@ func (m *Manager) placeSequentialLocked(dc hypervisor.DomainConfig) Placement {
 		m.riskRejections++
 		return Placement{Err: errHeadroom(dc)}
 	}
-	best := m.surplusCandidateLocked(m.PartitionOf(dc), dc.Size, m.banded(dc))
+	best := m.surplusCandidateTimedLocked(m.PartitionOf(dc), dc.Size, m.banded(dc))
 	// A surplus candidate in the VM's own pool already proves some
 	// server fits without deflation; only its absence needs the
 	// cross-pool existence scan.
@@ -505,59 +438,6 @@ func (m *Manager) placeSequentialLocked(dc hypervisor.DomainConfig) Placement {
 	}
 	out.Err = errNoCapacity(dc)
 	return out
-}
-
-// pressureLiveLocked is the live under-pressure ranking: score every
-// pool server by the deflation-aware availability fitness of Section
-// 5.2 and deflate residents on the best server that can absorb the
-// newcomer. The sort is deferred argmax-first (identical visit order);
-// best, when non-nil, is the surplus candidate that already failed and
-// is skipped. Used by the sequential path and by commits whose
-// proposals conflicted with earlier commits of their batch.
-func (m *Manager) pressureLiveLocked(dc hypervisor.DomainConfig, best *Server) (*hypervisor.Domain, *Server, bool) {
-	pool := m.PartitionOf(dc)
-	banded := m.banded(dc)
-	cands := m.cands[:0]
-	for _, s := range m.servers {
-		if s.revoked || (pool >= 0 && s.Partition != pool) {
-			continue
-		}
-		avail := s.avail
-		if m.cfg.ReferencePlacement {
-			avail = Availability(s)
-		}
-		b := 0
-		if banded {
-			b = s.band
-		}
-		cands = append(cands, cand{s, Fitness(dc.Size, avail), s.gidx, b})
-	}
-	m.cands = cands
-
-	ncRange := newcomerRange(dc)
-	first := -1
-	for i := range cands {
-		if first < 0 || candBefore(cands[i], cands[first]) {
-			first = i
-		}
-	}
-	if first >= 0 && cands[first].s != best {
-		if d, s, ok := m.tryPlaceLocked(cands[first].s, dc, ncRange); ok {
-			return d, s, true
-		}
-	}
-	if first >= 0 {
-		sort.Sort(&m.cands)
-		for rank, c := range m.cands {
-			if c.s == best || rank == 0 {
-				continue // already tried above (argmax == rank 0)
-			}
-			if d, s, ok := m.tryPlaceLocked(c.s, dc, ncRange); ok {
-				return d, s, true
-			}
-		}
-	}
-	return nil, nil, false
 }
 
 // placeBatchLocked is the partitioned engine: parallel propose against
@@ -590,35 +470,19 @@ func (m *Manager) placeBatchLocked(dcs []hypervisor.DomainConfig) {
 	m.batchDCs = nil // do not retain the caller's slice
 }
 
-// proposeLocked runs the parallel propose phases. Surplus bids are
-// proposed for every VM; pressure rankings only for VMs no partition
-// could surplus-place, determined by a cross-partition reduction
-// between the two phases.
+// proposeLocked runs the parallel surplus propose phase. Under-pressure
+// placement needs no propose phase: commits run the bound-pruned
+// descent (pressure.go) directly at live state, which is both exact by
+// construction and cheap enough not to want batch-start proposals.
 func (m *Manager) proposeLocked(dcs []hypervisor.DomainConfig) {
 	m.batchDCs = dcs
 	m.batchPools = grow(m.batchPools, len(dcs))
 	m.batchBanded = grow(m.batchBanded, len(dcs))
-	m.needPressure = grow(m.needPressure, len(dcs))
 	for i := range dcs {
 		m.batchPools[i] = m.PartitionOf(dcs[i])
 		m.batchBanded[i] = m.banded(dcs[i])
 	}
 	m.dispatchLocked(phaseSurplus)
-	any := false
-	for i := range dcs {
-		need := true
-		for _, p := range m.parts {
-			if p.surplus[i] != nil {
-				need = false
-				break
-			}
-		}
-		m.needPressure[i] = need
-		any = any || need
-	}
-	if any {
-		m.dispatchLocked(phasePressure)
-	}
 }
 
 // markTouchedLocked records a server mutated by a commit of the current
@@ -654,7 +518,14 @@ func (m *Manager) commitOneLocked(i int, dc hypervisor.DomainConfig) Placement {
 		return Placement{Err: errHeadroom(dc)}
 	}
 	pool := m.batchPools[i]
-	best := m.commitSurplusLocked(i, pool, dc.Size)
+	var best *Server
+	if m.cfg.CollectTimings {
+		t0 := time.Now()
+		best = m.commitSurplusLocked(i, pool, dc.Size)
+		m.surplusTime += time.Since(t0)
+	} else {
+		best = m.commitSurplusLocked(i, pool, dc.Size)
+	}
 	// As in placeSequentialLocked: a pool surplus winner implies the
 	// cross-pool existence check is true, so it is skipped.
 	out := Placement{NeedsReclaim: best == nil && !m.anyFitsLocked(dc.Size)}
@@ -673,7 +544,12 @@ func (m *Manager) commitOneLocked(i int, dc hypervisor.DomainConfig) Placement {
 			return out
 		}
 	}
-	if d, s, ok := m.commitPressureLocked(i, dc, pool, best); ok {
+	// Under pressure the commit runs the live bound-pruned descent
+	// directly: the commit loop's dirty sync has already refreshed
+	// exactly what earlier commits touched, so the scan is bit-identical
+	// to the sequential path's at this state — no batch-start pressure
+	// proposal to validate.
+	if d, s, ok := m.pressureLiveLocked(dc, best); ok {
 		m.markTouchedLocked(s)
 		out.Domain, out.Server = d, s
 		out.Initial = d.Allocation()
@@ -711,118 +587,4 @@ func (m *Manager) commitSurplusLocked(i, pool int, size resources.Vector) *Serve
 		}
 	}
 	return best
-}
-
-// commitPressureLocked resolves VM i's under-pressure placement from
-// the proposals: touched pool servers are re-ranked live and woven into
-// the partitions' segments (whose entries for them are skipped as
-// stale), giving exactly the (fitness desc, add-index asc) visit order
-// the sequential path produces at this state. The argmax-first fast
-// path holds whenever every partition's proposed argmax is untouched —
-// then the global argmax needs no sorting at all. A VM that lost its
-// surplus bid to an earlier commit has no pressure proposal and
-// re-proposes with a full live ranking.
-func (m *Manager) commitPressureLocked(i int, dc hypervisor.DomainConfig, pool int, best *Server) (*hypervisor.Domain, *Server, bool) {
-	if !m.needPressure[i] {
-		return m.pressureLiveLocked(dc, best) // re-propose on conflict
-	}
-	ncRange := newcomerRange(dc)
-
-	banded := m.batchBanded[i]
-	tl := m.touchedCands[:0]
-	for _, s := range m.touchedList {
-		if pool >= 0 && s.Partition != pool {
-			continue
-		}
-		b := 0
-		if banded {
-			b = s.band
-		}
-		tl = append(tl, cand{s, Fitness(dc.Size, s.avail), s.gidx, b})
-	}
-	m.touchedCands = tl
-	sort.Sort(&m.touchedCands)
-	tl = m.touchedCands
-
-	var tried *Server
-	fastOK := true
-	for _, p := range m.parts {
-		if am := p.argmax[i]; am >= 0 && m.touched[p.pcands[am].s] {
-			fastOK = false
-			break
-		}
-	}
-	if fastOK {
-		// Every partition argmax dominates all of its (live-valued)
-		// untouched entries, and tl[0] dominates the touched ones, so
-		// their maximum is the live global argmax.
-		var g cand
-		have := false
-		for _, p := range m.parts {
-			am := p.argmax[i]
-			if am < 0 {
-				continue
-			}
-			if !have || candBefore(p.pcands[am], g) {
-				g, have = p.pcands[am], true
-			}
-		}
-		if len(tl) > 0 && (!have || candBefore(tl[0], g)) {
-			g, have = tl[0], true
-		}
-		if !have {
-			return nil, nil, false // the pool has no servers at all
-		}
-		if g.s != best {
-			if d, s, ok := m.tryPlaceLocked(g.s, dc, ncRange); ok {
-				return d, s, true
-			}
-			tried = g.s
-		}
-	}
-
-	// Full walk: sort every partition's segment (in parallel, idempotent)
-	// and merge them with the live touched ranking.
-	m.sortVM = i
-	m.dispatchLocked(phaseSort)
-	heads := grow(m.walkHeads, len(m.parts)+1)
-	m.walkHeads = heads
-	for pi, p := range m.parts {
-		heads[pi] = int(p.spans[i].start)
-	}
-	ti := len(m.parts)
-	heads[ti] = 0
-	for {
-		bi := -1
-		var bc cand
-		for pi, p := range m.parts {
-			end := int(p.spans[i].end)
-			h := heads[pi]
-			for h < end && m.touched[p.pcands[h].s] {
-				h++ // stale entry; its live rank is in the touched stream
-			}
-			heads[pi] = h
-			if h >= end {
-				continue
-			}
-			if bi < 0 || candBefore(p.pcands[h], bc) {
-				bi, bc = pi, p.pcands[h]
-			}
-		}
-		if heads[ti] < len(tl) {
-			if bi < 0 || candBefore(tl[heads[ti]], bc) {
-				bi, bc = ti, tl[heads[ti]]
-			}
-		}
-		if bi < 0 {
-			return nil, nil, false
-		}
-		heads[bi]++
-		if bc.s == best || bc.s == tried {
-			continue
-		}
-		if d, s, ok := m.tryPlaceLocked(bc.s, dc, ncRange); ok {
-			return d, s, true
-		}
-	}
 }

@@ -164,8 +164,9 @@ func TestPlaceVMsEmptyBatch(t *testing.T) {
 
 // proposeSteadyState builds a partitioned manager at steady state: a
 // cluster of residents, warm arenas, and a batch of probe VMs whose
-// proposals exercise both the surplus and the pressure phases without
-// committing anything.
+// proposals exercise the surplus phase — both hits and the miss that
+// defers to the commit-time pressure descent — without committing
+// anything.
 func proposeSteadyState(tb testing.TB, partitions int) (*Manager, []hypervisor.DomainConfig) {
 	tb.Helper()
 	m := NewManager(Config{Policy: policy.Proportional{}, PlacementPartitions: partitions})
@@ -186,7 +187,8 @@ func proposeSteadyState(tb testing.TB, partitions int) (*Manager, []hypervisor.D
 		}
 	}
 	// Probe batch: small VMs that still fit (surplus bids) and a giant
-	// one nothing can surplus-host (pressure rankings).
+	// one nothing can surplus-host (a propose-phase miss — the pressure
+	// work itself happens at commit, under the bound-pruned descent).
 	dcs := []hypervisor.DomainConfig{
 		{Name: "probe-a", Size: resources.CPUMem(4, 8192)},
 		{Name: "probe-b", Size: resources.CPUMem(8, 16384), Deflatable: true, Priority: 0.5},
@@ -207,9 +209,8 @@ func proposeOnce(m *Manager, dcs []hypervisor.DomainConfig) {
 
 // TestProposeSteadyStateZeroAllocs is the allocation-regression guard
 // for the partitioned propose pass: once the partition arenas are warm,
-// proposing a batch — surplus bids and pressure rankings across every
-// partition, including the worker-pool barrier — must perform zero heap
-// allocations.
+// proposing a batch — surplus bids across every partition, including
+// the worker-pool barrier — must perform zero heap allocations.
 func TestProposeSteadyStateZeroAllocs(t *testing.T) {
 	for _, partitions := range []int{1, 4} {
 		t.Run(fmt.Sprintf("partitions=%d", partitions), func(t *testing.T) {

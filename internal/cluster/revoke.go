@@ -129,7 +129,9 @@ func (m *Manager) RevokeServers(names ...string) (Evacuation, error) {
 		}
 		s.revoked = true
 		m.revokedCount++
-		m.partitionFor(s).indexes[m.poolKey(s.Partition, s.band)].Delete(name)
+		pp, key := m.partitionFor(s), m.poolKey(s.Partition, s.band)
+		pp.indexes[key].Delete(name)
+		pp.bounds[key].Delete(name)
 		m.totCapacity = m.totCapacity.Sub(s.Host.Capacity())
 		// An out-of-service server's risk is realised, not forecast: its
 		// headroom contribution leaves the reserve with its capacity.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"vmdeflate/internal/hypervisor"
@@ -243,6 +244,31 @@ func TestRevocationChurnMatchesAcrossEngines(t *testing.T) {
 	}
 }
 
+// TestPressureShockChurnDifferential saturates the revocation churn so
+// revokes and resizes interleave with under-pressure placements — the
+// adversarial case for the pressure index, whose bound keys must track
+// servers leaving, returning and changing size mid-stream. The longer
+// sequence keeps the cluster full enough that arrivals routinely fall
+// through to the pressure scan right after shock events, and the
+// outcome checks reject a run where the new machinery never fired.
+func TestPressureShockChurnDifferential(t *testing.T) {
+	for _, seed := range []int64{7, 19} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			out := runRevocationChurn(t, seed, Config{Policy: policy.Priority{}}, 10, 500)
+			if out.revokes == 0 || out.resizes == 0 {
+				t.Fatalf("churn produced %d revokes / %d resizes — the interleaving is vacuous",
+					out.revokes, out.resizes)
+			}
+			if out.arrivals == 0 {
+				t.Fatal("no pressured arrivals — the churn never saturated")
+			}
+			if out.pruned == 0 {
+				t.Fatal("bound pruning never fired under shock churn")
+			}
+		})
+	}
+}
+
 // churnEngine pairs one manager configuration with its label for the
 // multi-engine differential churn.
 type churnEngine struct {
@@ -250,16 +276,29 @@ type churnEngine struct {
 	m     *Manager
 }
 
-func runRevocationChurn(t *testing.T, seed int64, cfg Config, nServers, nOps int) {
+// churnOutcome summarizes one runRevocationChurn for vacuity checks:
+// how much shock churn the sequence produced and the pruned engines'
+// pressure-scan meters.
+type churnOutcome struct {
+	revokes, resizes         int
+	arrivals, scored, pruned int
+}
+
+func runRevocationChurn(t *testing.T, seed int64, cfg Config, nServers, nOps int) churnOutcome {
 	t.Helper()
 	var engines []churnEngine
 	refCfg := cfg
 	refCfg.ReferencePlacement = true
 	engines = append(engines, churnEngine{"reference", NewManager(refCfg)})
+	// Both scan modes at every partition count: pruned descent (default)
+	// and the retained full linear scan, all against the reference.
 	for _, parts := range []int{1, 3, 8} {
 		pcfg := cfg
 		pcfg.PlacementPartitions = parts
-		engines = append(engines, churnEngine{fmt.Sprintf("partitions=%d", parts), NewManager(pcfg)})
+		engines = append(engines, churnEngine{fmt.Sprintf("pruned/partitions=%d", parts), NewManager(pcfg)})
+		fcfg := pcfg
+		fcfg.FullPressureScan = true
+		engines = append(engines, churnEngine{fmt.Sprintf("fullscan/partitions=%d", parts), NewManager(fcfg)})
 	}
 	for i := 0; i < nServers; i++ {
 		for _, e := range engines {
@@ -294,6 +333,7 @@ func runRevocationChurn(t *testing.T, seed int64, cfg Config, nServers, nOps int
 	nRevoked := 0
 	placed := map[string]bool{}
 	next := 0
+	var out churnOutcome
 	for op := 0; op < nOps; op++ {
 		var step func(m *Manager) string
 		r := rng.Intn(20)
@@ -308,6 +348,7 @@ func runRevocationChurn(t *testing.T, seed int64, cfg Config, nServers, nOps int
 				}
 				revoked[i] = true
 				nRevoked++
+				out.revokes++
 				names = append(names, fmt.Sprintf("node-%03d", i))
 			}
 			step = func(m *Manager) string {
@@ -343,6 +384,7 @@ func runRevocationChurn(t *testing.T, seed int64, cfg Config, nServers, nOps int
 			name := fmt.Sprintf("node-%03d", i)
 			scale := 0.4 + 0.6*rng.Float64() // 40%..100%
 			capv := serverCap().Scale(scale)
+			out.resizes++
 			step = func(m *Manager) string {
 				out, err := m.ResizeServer(name, capv)
 				if err == nil {
@@ -426,6 +468,40 @@ func runRevocationChurn(t *testing.T, seed int64, cfg Config, nServers, nOps int
 		}
 		compareEngineStats(t, op, engines[0].m, engines[1:])
 	}
+
+	// Pressure-scan meter invariants across the whole churn: arrivals
+	// are mode-invariant; scored/pruned are partition-invariant within
+	// each scan mode; the full-scan engines score exactly what the
+	// reference scores and prune nothing.
+	refArr, refScored, refPruned := engines[0].m.PressureStats()
+	if refPruned != 0 {
+		t.Fatalf("reference pruned %d servers, want 0", refPruned)
+	}
+	out.arrivals = refArr
+	for _, e := range engines[1:] {
+		arr, scored, pruned := e.m.PressureStats()
+		if arr != refArr {
+			t.Fatalf("%s: %d pressured arrivals, reference %d", e.label, arr, refArr)
+		}
+		if strings.HasPrefix(e.label, "fullscan") {
+			if scored != refScored || pruned != 0 {
+				t.Fatalf("%s: scored/pruned = %d/%d, reference full scan %d/0",
+					e.label, scored, pruned, refScored)
+			}
+			continue
+		}
+		if out.scored == 0 && out.pruned == 0 {
+			out.scored, out.pruned = scored, pruned
+		} else if scored != out.scored || pruned != out.pruned {
+			t.Fatalf("%s: scored/pruned = %d/%d, other pruned engines %d/%d",
+				e.label, scored, pruned, out.scored, out.pruned)
+		}
+		if scored+pruned != refScored {
+			t.Fatalf("%s: scored+pruned = %d, want the reference's eligible total %d",
+				e.label, scored+pruned, refScored)
+		}
+	}
+	return out
 }
 
 func compareEngineStats(t *testing.T, op int, ref *Manager, others []churnEngine) {

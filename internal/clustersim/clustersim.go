@@ -188,6 +188,13 @@ type PhaseTimings struct {
 	Sample time.Duration
 	// Reinflate is the departure/evacuation-driven reinflation passes.
 	Reinflate time.Duration
+	// Surplus and Pressure further attribute the serial placement work
+	// inside Commit: the live surplus-index lookups and the
+	// under-pressure candidate scans. Both are subsets of Commit (and,
+	// with a single partition, of the whole placement time booked
+	// there), not additional wall time.
+	Surplus  time.Duration
+	Pressure time.Duration
 }
 
 // Config parameterises one simulation run.
@@ -236,6 +243,12 @@ type Config struct {
 	// bit-for-bit identical (guarded by the differential test suite);
 	// the flag exists for that comparison and for benchmarks.
 	ReferencePlacement bool
+	// FullPressureScan keeps the indexed surplus path but replaces the
+	// bound-pruned under-pressure descent with the retained linear scan
+	// over every pool server. Results are bit-for-bit identical up to
+	// the pressure-scan meters (guarded by the differential suite); the
+	// flag exists for that comparison and for the bench-pressure gate.
+	FullPressureScan bool
 	// Shards parallelises one run across up to this many goroutines:
 	// the per-VM sample metering pass is partitioned across shards, and
 	// the per-server reinflation passes of a same-instant departure
@@ -390,6 +403,19 @@ type Result struct {
 	ReclamationAttempts int
 	// ReclamationFailures counts attempts that could not free enough.
 	ReclamationFailures int
+	// Pressure-scan accounting (deflation mode). PressuredArrivals
+	// counts placements that fell through to the under-pressure scan
+	// (identical in every placement mode). PressureScored counts servers
+	// whose exact fitness was computed across those scans and
+	// PressurePruned counts indexed servers the bound-pruned descent
+	// excluded without scoring — by the fitness bound, the feasibility
+	// pre-filter, or an earlier candidate succeeding. The full-scan
+	// modes (ReferencePlacement, FullPressureScan) score every pool
+	// server and prune none, so differential suites comparing across
+	// modes zero Scored/Pruned before reflect.DeepEqual.
+	PressuredArrivals int
+	PressureScored    int
+	PressurePruned    int
 	// Preemptions counts killed low-priority VMs (preemption mode).
 	Preemptions int
 	// DeflatableAdmitted counts admitted low-priority VMs.

@@ -185,6 +185,7 @@ func (e *Engine) setupDeflation() error {
 		PriorityLevels:      cfg.PriorityLevels,
 		Notify:              cfg.Notify,
 		ReferencePlacement:  cfg.ReferencePlacement,
+		FullPressureScan:    cfg.FullPressureScan,
 		ReinflateShards:     e.shards,
 		PlacementPartitions: cfg.PlacementPartitions,
 		CollectTimings:      cfg.Timings != nil,
@@ -470,6 +471,7 @@ func (e *Engine) runDeflation() (*Result, error) {
 
 	e.res.ReclamationFailures = e.mgr.Rejections()
 	e.res.RiskRejections = e.mgr.RiskRejections()
+	e.res.PressuredArrivals, e.res.PressureScored, e.res.PressurePruned = e.mgr.PressureStats()
 	// FleetCost: bill each server's in-service core-hours at its type's
 	// price factor, in server index order. Outage intervals accumulated
 	// in event order; still-revoked servers charge out to the horizon.
@@ -499,6 +501,8 @@ func (e *Engine) runDeflation() (*Result, error) {
 		pt := e.mgr.PhaseTimings()
 		cfg.Timings.Propose += pt.Propose
 		cfg.Timings.Commit += pt.Commit
+		cfg.Timings.Surplus += pt.Surplus
+		cfg.Timings.Pressure += pt.Pressure
 		cfg.Timings.Reinflate += pt.Reinflate
 		cfg.Timings.Sample += e.sampleTime
 	}

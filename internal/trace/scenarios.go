@@ -123,4 +123,3 @@ func clipWindow(start0, life, horizon float64) (start, end float64) {
 	}
 	return start, end
 }
-
